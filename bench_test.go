@@ -1,0 +1,310 @@
+package repro
+
+// Benchmark harness: one benchmark per paper artifact (Table 1, Figures
+// 1-3, the §5.2 equivalence claim) plus kernel and ablation benches. The
+// artifact benches run the experiment at a reduced-but-faithful scale per
+// iteration so `go test -bench=.` finishes in minutes; the full Table-1
+// volume is exercised by the *PaperScale benches and by cmd/replexp.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/policies"
+	"repro/internal/workload"
+)
+
+// benchOpts is the per-iteration experiment scale for the figure benches.
+func benchOpts() ExperimentOptions {
+	o := experiments.Quick()
+	o.Runs = 1
+	o.RequestsPerSite = 100
+	return o
+}
+
+// BenchmarkTable1WorkloadGen regenerates the paper's Table-1 workload
+// (10 sites, 15,000 MOs, 400-800 pages/site) once per iteration.
+func BenchmarkTable1WorkloadGen(b *testing.B) {
+	cfg := DefaultWorkloadConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := GenerateWorkload(cfg, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.NumObjects() != 15000 {
+			b.Fatal("wrong object count")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure-1 storage sweep (Proposed vs LRU
+// vs the Remote/Local references).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Figure1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 4 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the Figure-2 processing-capacity sweep.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the Figure-3 constrained-repository sweep
+// (off-loading active).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure3(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorageEquivalence measures the §5.2 claim sweep.
+func BenchmarkStorageEquivalence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := StorageEquivalence(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Fraction*100, "equiv-storage-%")
+	}
+}
+
+// paperScaleEnv builds one full Table-1 environment (shared across
+// iterations — generation is benchmarked separately).
+func paperScaleEnv(b *testing.B) *Env {
+	b.Helper()
+	w, err := GenerateWorkload(DefaultWorkloadConfig(), 2026)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := DrawEstimates(DefaultNetConfig(), w.NumSites(), NewStream(2026))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := NewEnv(w, est, FullBudgets(w))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkPlanPaperScale runs the full planning pipeline (PARTITION +
+// restorations) on the Table-1 workload.
+func BenchmarkPlanPaperScale(b *testing.B) {
+	env := paperScaleEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Plan(env, PlanOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanConstrained plans under 30 % storage and 50 % capacity —
+// both restoration loops active.
+func BenchmarkPlanConstrained(b *testing.B) {
+	env := paperScaleEnv(b)
+	env.Budgets = env.Budgets.Scale(env.W, 0.3, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Plan(env, PlanOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatePaperScale simulates the paper's 10,000 requests per
+// site over the Table-1 workload.
+func BenchmarkSimulatePaperScale(b *testing.B) {
+	env := paperScaleEnv(b)
+	p, _, err := Plan(env, PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultSimConfig(env.W)
+	pol := NewStaticPolicy("Proposed", p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(env.W, env.Est, pol, cfg, NewStream(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PageRT.N() == 0 {
+			b.Fatal("empty simulation")
+		}
+	}
+}
+
+// BenchmarkSimulateQueueing measures the fluid-queue extension's overhead.
+func BenchmarkSimulateQueueing(b *testing.B) {
+	env := paperScaleEnv(b)
+	p, _, err := Plan(env, PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultSimConfig(env.W)
+	cfg.Queueing = true
+	pol := NewStaticPolicy("Proposed", p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(env.W, env.Est, pol, cfg, NewStream(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPartitionSort quantifies PARTITION's decreasing-size
+// visit order: it reports the objective achieved with and without the sort
+// (lower is better) alongside the running time of the sorted variant.
+func BenchmarkAblationPartitionSort(b *testing.B) {
+	env := paperScaleEnv(b)
+	var dSorted, dUnsorted float64
+	for i := 0; i < b.N; i++ {
+		pl := core.NewPlanner(env)
+		pl.PartitionAll()
+		dSorted = pl.D()
+	}
+	plU := core.NewPlanner(env)
+	for j := range env.W.Pages {
+		plU.PartitionPageUnsorted(workload.PageID(j))
+	}
+	dUnsorted = plU.D()
+	b.ReportMetric(dSorted, "D-sorted")
+	b.ReportMetric(dUnsorted, "D-unsorted")
+	if dSorted > dUnsorted*1.2 {
+		b.Fatalf("sorted partition much worse than unsorted: %v vs %v", dSorted, dUnsorted)
+	}
+}
+
+// BenchmarkAblationNaiveSplits compares the planner's objective with the
+// naive SizeThreshold and HalfSplit policies under the cost model.
+func BenchmarkAblationNaiveSplits(b *testing.B) {
+	env := paperScaleEnv(b)
+	var dPlan float64
+	for i := 0; i < b.N; i++ {
+		p, _, err := Plan(env, PlanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dPlan = model.D(env, p)
+	}
+	dHalf := model.D(env, policies.HalfSplit(env.W).Placement())
+	dThresh := model.D(env, policies.SizeThreshold(env.W, int64(500*KB)).Placement())
+	b.ReportMetric(dPlan, "D-planned")
+	b.ReportMetric(dHalf, "D-halfsplit")
+	b.ReportMetric(dThresh, "D-sizethreshold")
+	if dPlan > dHalf || dPlan > dThresh {
+		b.Fatalf("planner (D=%v) lost to a naive split (half=%v, threshold=%v)", dPlan, dHalf, dThresh)
+	}
+}
+
+// BenchmarkGreedyGap certifies PARTITION against the exact per-page
+// optimum (bucket-quantized subset-sum DP) on the Table-1 workload,
+// reporting the mean and max per-page optimality gap in percent.
+func BenchmarkGreedyGap(b *testing.B) {
+	env := paperScaleEnv(b)
+	var mean, max float64
+	for i := 0; i < b.N; i++ {
+		pl := core.NewPlanner(env)
+		pl.PartitionAll()
+		mean, max = core.GreedyGap(pl)
+	}
+	b.ReportMetric(mean, "mean-gap-%")
+	b.ReportMetric(max, "max-gap-%")
+	if mean > 5 {
+		b.Fatalf("mean optimality gap %.2f%% too large", mean)
+	}
+}
+
+// BenchmarkRedirectStudy regenerates the Section-6 redirection comparison.
+func BenchmarkRedirectStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RedirectStudy(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDrift regenerates the plan-staleness study.
+func BenchmarkDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DriftFigure(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOffloadNegotiation measures the off-loading protocol alone, with
+// the repository capped at 60 % of its pre-offload load.
+func BenchmarkOffloadNegotiation(b *testing.B) {
+	env := paperScaleEnv(b)
+	// Probe for the pre-offload load.
+	probe, _, err := Plan(env, PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre := model.RepoLoad(env, probe)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pl := core.NewPlanner(env)
+		pl.PartitionAll()
+		for s := range env.W.Sites {
+			pl.RestoreStorageSite(workload.SiteID(s))
+			pl.RestoreProcessingSite(workload.SiteID(s))
+		}
+		env.Budgets.RepoCapacity = ReqPerSec(float64(pre) * 0.6)
+		b.StartTimer()
+		st := pl.Offload(nil)
+		if !st.Restored {
+			b.Fatal("offload failed")
+		}
+		b.StopTimer()
+		env.Budgets.RepoCapacity = InfiniteCapacity()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkThresholdStudy regenerates the dynamic-replication comparison.
+func BenchmarkThresholdStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ThresholdStudy(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivity regenerates the estimate-error robustness study.
+func BenchmarkSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Sensitivity(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueueingStudy regenerates the Eq. 8 queueing-overhead study.
+func BenchmarkQueueingStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := QueueingStudy(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command repldiff compares two saved placements over the same workload
+// and prints the migration plan: replicas each site must fetch from the
+// repository, replicas it deletes, and the reference-database marks that
+// flip — the operational cost of moving from one replication plan to
+// another (the off-peak work the paper's Section 4.1 schedules).
+//
+// Usage:
+//
+//	repldiff -w workload.json old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("repldiff", flag.ContinueOnError)
+	wpath := fs.String("w", "", "workload JSON both placements refer to (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want exactly two placement files, got %d", fs.NArg())
+	}
+	if *wpath == "" {
+		return fmt.Errorf("-w workload.json is required")
+	}
+
+	w, err := repro.LoadWorkload(*wpath)
+	if err != nil {
+		return err
+	}
+	oldP, err := repro.LoadPlacement(w, fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("old placement: %w", err)
+	}
+	newP, err := repro.LoadPlacement(w, fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("new placement: %w", err)
+	}
+
+	diff, err := repro.DiffPlacements(oldP, newP)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "migration %s -> %s:\n", fs.Arg(0), fs.Arg(1))
+	return diff.Write(stdout)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "repldiff: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func fixtures(t *testing.T) (wpath, oldPath, newPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := repro.GenerateWorkload(repro.SmallWorkloadConfig(), 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpath = dir + "/w.json"
+	if err := w.SaveFile(wpath); err != nil {
+		t.Fatal(err)
+	}
+	oldPath, newPath = dir+"/old.json", dir+"/new.json"
+	if err := repro.AllRemote(w).SaveFile(oldPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.AllLocal(w).SaveFile(newPath); err != nil {
+		t.Fatal(err)
+	}
+	return wpath, oldPath, newPath
+}
+
+func TestRunDiff(t *testing.T) {
+	wpath, oldPath, newPath := fixtures(t)
+	var sb strings.Builder
+	if err := run([]string{"-w", wpath, oldPath, newPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"migration", "total migration", "replicas"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Remote→local migrates data in, frees nothing.
+	if !strings.Contains(out, "0B freed") {
+		t.Errorf("expected nothing freed:\n%s", out)
+	}
+}
+
+func TestRunDiffValidation(t *testing.T) {
+	wpath, oldPath, _ := fixtures(t)
+	var sb strings.Builder
+	if err := run([]string{"-w", wpath, oldPath}, &sb); err == nil {
+		t.Error("one placement accepted")
+	}
+	if err := run([]string{oldPath, oldPath}, &sb); err == nil {
+		t.Error("missing -w accepted")
+	}
+	if err := run([]string{"-w", wpath, oldPath, t.TempDir() + "/nope.json"}, &sb); err == nil {
+		t.Error("missing placement accepted")
+	}
+	if err := run([]string{"-w", t.TempDir() + "/nope.json", oldPath, oldPath}, &sb); err == nil {
+		t.Error("missing workload accepted")
+	}
+}

@@ -1,0 +1,179 @@
+// Command replexp regenerates the paper's evaluation artifacts — the
+// Table-1 workload audit, Figures 1-3 and the §5.2 storage-equivalence
+// claim — plus the extension studies (ablation, drift, redirect,
+// sensitivity, threshold). Results print as aligned text tables (mean
+// ± 95 % CI over the runs) and can additionally be written as CSV.
+//
+// Usage:
+//
+//	replexp -exp table1|fig1|fig2|fig3|equiv|all
+//	        -exp ablation|drift|redirect|sensitivity|threshold
+//	        [-scale paper|quick] [-runs N] [-seed N] [-requests N] [-csv DIR]
+//
+// "-exp all" covers the paper's own artifacts; the extension studies run
+// only when named explicitly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func writeCSV(stdout io.Writer, dir, name string, fig *repro.Figure) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fig.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "(csv written to %s)\n", path)
+	return nil
+}
+
+// experimentSpec describes one runnable experiment.
+type experimentSpec struct {
+	name  string
+	inAll bool // part of "-exp all" (the paper's own artifacts)
+	run   func(opts repro.ExperimentOptions, stdout io.Writer, csvDir string, plot bool) error
+}
+
+// figureExperiment adapts a figure-producing experiment.
+func figureExperiment(name string, inAll bool, f func(repro.ExperimentOptions) (*repro.Figure, error)) experimentSpec {
+	return experimentSpec{
+		name:  name,
+		inAll: inAll,
+		run: func(opts repro.ExperimentOptions, stdout io.Writer, csvDir string, plot bool) error {
+			fig, err := f(opts)
+			if err != nil {
+				return err
+			}
+			if err := fig.WriteTable(stdout); err != nil {
+				return err
+			}
+			if plot {
+				fmt.Fprintln(stdout)
+				if err := fig.WritePlot(stdout, 64, 16); err != nil {
+					return err
+				}
+			}
+			return writeCSV(stdout, csvDir, name, fig)
+		},
+	}
+}
+
+var experiments = []experimentSpec{
+	{
+		name:  "table1",
+		inAll: true,
+		run: func(opts repro.ExperimentOptions, stdout io.Writer, _ string, _ bool) error {
+			sum, err := repro.Table1(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "== Table 1: workload audit ==")
+			return sum.Write(stdout)
+		},
+	},
+	figureExperiment("fig1", true, repro.Figure1),
+	figureExperiment("fig2", true, repro.Figure2),
+	figureExperiment("fig3", true, repro.Figure3),
+	{
+		name:  "equiv",
+		inAll: true,
+		run: func(opts repro.ExperimentOptions, stdout io.Writer, _ string, _ bool) error {
+			res, err := repro.StorageEquivalence(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "== Storage equivalence (§5.2) ==")
+			return res.Write(stdout)
+		},
+	},
+	{
+		name: "ablation",
+		run: func(opts repro.ExperimentOptions, stdout io.Writer, _ string, _ bool) error {
+			res, err := repro.Ablations(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "== Ablations: design choices vs naive splits ==")
+			return res.Write(stdout)
+		},
+	},
+	figureExperiment("drift", false, repro.DriftFigure),
+	figureExperiment("redirect", false, repro.RedirectStudy),
+	figureExperiment("sensitivity", false, repro.Sensitivity),
+	figureExperiment("threshold", false, repro.ThresholdStudy),
+	figureExperiment("queueing", false, repro.QueueingStudy),
+	figureExperiment("period", false, repro.PeriodStudy),
+	figureExperiment("weights", false, repro.WeightsStudy),
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replexp", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights")
+	scale := fs.String("scale", "paper", "paper (Table-1 volume, 20 runs) or quick")
+	runs := fs.Int("runs", 0, "override the number of runs")
+	seed := fs.Uint64("seed", 0, "override the experiment seed")
+	requests := fs.Int("requests", 0, "override page requests per site")
+	csvDir := fs.String("csv", "", "also write CSV files into this directory")
+	plot := fs.Bool("plot", false, "also render figures as text charts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := repro.PaperExperiment()
+	if *scale == "quick" {
+		opts = repro.QuickExperiment()
+	} else if *scale != "paper" {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *requests > 0 {
+		opts.RequestsPerSite = *requests
+	}
+
+	ran := false
+	for _, spec := range experiments {
+		if *exp == spec.name || (*exp == "all" && spec.inAll) {
+			if err := spec.run(opts, stdout, *csvDir, *plot); err != nil {
+				return fmt.Errorf("%s: %w", spec.name, err)
+			}
+			fmt.Fprintln(stdout)
+			ran = true
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "replexp: %v\n", err)
+		os.Exit(1)
+	}
+}

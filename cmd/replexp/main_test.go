@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickArgs keeps the experiment tiny: 1 run, few requests.
+func quickArgs(extra ...string) []string {
+	return append([]string{"-scale", "quick", "-runs", "1", "-requests", "60"}, extra...)
+}
+
+func TestRunTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "table1"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 1") || !strings.Contains(sb.String(), "Hot pages") {
+		t.Errorf("output incomplete:\n%s", sb.String())
+	}
+}
+
+func TestRunFig2WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "fig2", "-csv", dir), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 2") {
+		t.Error("missing figure table")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Proposed") {
+		t.Error("CSV incomplete")
+	}
+}
+
+func TestRunEquiv(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "equiv"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "equivalence fraction") {
+		t.Error("missing equivalence output")
+	}
+}
+
+func TestRunExtensionNotInAll(t *testing.T) {
+	// "-exp all" must not run the extensions (they're opt-in).
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "all"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, notWant := range []string{"Ablations", "Drift:", "Redirection cost", "Sensitivity:"} {
+		if strings.Contains(sb.String(), notWant) {
+			t.Errorf("extension %q ran under -exp all", notWant)
+		}
+	}
+	// But every paper artifact did.
+	for _, want := range []string{"Table 1", "Figure 1", "Figure 2", "Figure 3", "equivalence"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("paper artifact %q missing under -exp all", want)
+		}
+	}
+}
+
+func TestRunThresholdStudy(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "threshold"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Threshold") {
+		t.Error("missing threshold output")
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "nonsense"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "huge"}, &sb); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "fig2", "-plot"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*=Proposed") {
+		t.Error("plot legend missing")
+	}
+}

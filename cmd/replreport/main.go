@@ -1,0 +1,189 @@
+// Command replreport runs the complete reproduction — every paper artifact
+// and, with -extensions, every extension study — and emits a single
+// self-contained Markdown report with the configuration, the Table-1 audit
+// and one table per figure. It is the automated counterpart of the
+// hand-annotated EXPERIMENTS.md.
+//
+// Usage:
+//
+//	replreport [-scale paper|quick] [-runs N] [-seed N] [-requests N]
+//	           [-extensions] [-o report.md]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+// section is one report entry.
+type section struct {
+	name      string
+	extension bool
+	write     func(opts repro.ExperimentOptions, w io.Writer) error
+}
+
+func figureSection(name string, extension bool, f func(repro.ExperimentOptions) (*repro.Figure, error)) section {
+	return section{
+		name:      name,
+		extension: extension,
+		write: func(opts repro.ExperimentOptions, w io.Writer) error {
+			fig, err := f(opts)
+			if err != nil {
+				return err
+			}
+			return fig.WriteMarkdown(w)
+		},
+	}
+}
+
+var sections = []section{
+	{
+		name: "table1",
+		write: func(opts repro.ExperimentOptions, w io.Writer) error {
+			sum, err := repro.Table1(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "### Table 1: workload audit\n\n```\n"); err != nil {
+				return err
+			}
+			if err := sum.Write(w); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "```\n")
+			return err
+		},
+	},
+	figureSection("fig1", false, repro.Figure1),
+	figureSection("fig2", false, repro.Figure2),
+	figureSection("fig3", false, repro.Figure3),
+	{
+		name: "equiv",
+		write: func(opts repro.ExperimentOptions, w io.Writer) error {
+			res, err := repro.StorageEquivalence(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "### Storage equivalence (§5.2)\n\n```\n"); err != nil {
+				return err
+			}
+			if err := res.Write(w); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "```\n")
+			return err
+		},
+	},
+	{
+		name:      "ablation",
+		extension: true,
+		write: func(opts repro.ExperimentOptions, w io.Writer) error {
+			res, err := repro.Ablations(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "### Ablations\n\n```\n"); err != nil {
+				return err
+			}
+			if err := res.Write(w); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "```\n")
+			return err
+		},
+	},
+	figureSection("drift", true, repro.DriftFigure),
+	figureSection("redirect", true, repro.RedirectStudy),
+	figureSection("sensitivity", true, repro.Sensitivity),
+	figureSection("threshold", true, repro.ThresholdStudy),
+	figureSection("queueing", true, repro.QueueingStudy),
+	figureSection("period", true, repro.PeriodStudy),
+	figureSection("weights", true, repro.WeightsStudy),
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replreport", flag.ContinueOnError)
+	scale := fs.String("scale", "paper", "paper or quick")
+	runs := fs.Int("runs", 0, "override the number of runs")
+	seed := fs.Uint64("seed", 0, "override the experiment seed")
+	requests := fs.Int("requests", 0, "override page requests per site")
+	extensions := fs.Bool("extensions", false, "include the extension studies")
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := repro.PaperExperiment()
+	if *scale == "quick" {
+		opts = repro.QuickExperiment()
+	} else if *scale != "paper" {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *requests > 0 {
+		opts.RequestsPerSite = *requests
+	}
+
+	w := stdout
+	var file *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		file = f
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+
+	fmt.Fprintf(w, "# Reproduction report\n\n")
+	fmt.Fprintf(w, "Loukopoulos & Ahmad, *Replicating the Contents of a WWW Multimedia Repository to Minimize Download Time* (IPPS 2000).\n\n")
+	reqs := opts.Workload.RequestsPerSite
+	if opts.RequestsPerSite > 0 {
+		reqs = opts.RequestsPerSite
+	}
+	fmt.Fprintf(w, "Configuration: %d sites, %d objects, %d runs per point, %d requests per site, seed %d.\n",
+		opts.Workload.Sites, opts.Workload.GlobalObjects, opts.Runs, reqs, opts.Seed)
+	fmt.Fprintf(w, "Response times are reported relative to the proposed policy with no constraints, as in the paper.\n\n")
+
+	for _, sec := range sections {
+		if sec.extension && !*extensions {
+			continue
+		}
+		if err := sec.write(opts, w); err != nil {
+			return fmt.Errorf("%s: %w", sec.name, err)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if file != nil {
+		if bw, ok := w.(*bufio.Writer); ok {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *out)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "replreport: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,135 @@
+// Command replserve runs the paper's Section-2 system for real: it starts
+// the repository and one HTTP server per local site on loopback ports,
+// plans the replication, and serves pages whose multimedia URLs are
+// rewritten on the fly per the plan. With -fetch it also drives a client
+// over the pages (parallel local/repository chains, like the paper's
+// browser model) and reports the observed split and timings; with -adapt it
+// then closes the Section-4.1 loop once — estimate frequencies from the
+// access log, re-plan, apply live.
+//
+// Usage:
+//
+//	replserve [-seed N] [-storage F] [-fetch N] [-adapt] [-serve]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/accesslog"
+	"repro/internal/model"
+	"repro/internal/webserve"
+)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replserve", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2026, "workload/estimate seed")
+	storage := fs.Float64("storage", 0.5, "storage budget fraction")
+	fetch := fs.Int("fetch", 20, "pages to fetch with the built-in client (0 = none)")
+	adapt := fs.Bool("adapt", false, "after fetching, estimate frequencies and re-plan live")
+	serve := fs.Bool("serve", false, "keep serving until interrupted instead of exiting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// A small workload: this command demonstrates the mechanics, not the
+	// Table-1 volumes.
+	cfg := repro.SmallWorkloadConfig()
+	w, err := repro.GenerateWorkload(cfg, *seed)
+	if err != nil {
+		return err
+	}
+	est, err := repro.DrawEstimates(repro.DefaultNetConfig(), w.NumSites(), repro.NewStream(*seed))
+	if err != nil {
+		return err
+	}
+	budgets := repro.FullBudgets(w).Scale(w, *storage, 1)
+	env, err := repro.NewEnv(w, est, budgets)
+	if err != nil {
+		return err
+	}
+	placement, result, err := repro.Plan(env, repro.PlanOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "planned: D=%.1f feasible=%v\n", result.D, result.Feasible)
+
+	cluster, err := webserve.StartCluster(w, placement)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	fmt.Fprintf(stdout, "repository: %s\n", cluster.RepoBase)
+	for i, base := range cluster.SiteBases {
+		fmt.Fprintf(stdout, "site S%d:    %s  (%d pages)\n", i, base, len(w.Sites[i].Pages))
+	}
+	fmt.Fprintf(stdout, "example page: %s\n\n", cluster.PageURL(w.Sites[0].Pages[0]))
+
+	if *fetch > 0 {
+		client := webserve.NewClient(w)
+		client.Verify = true
+		var localObjs, repoObjs, n int
+		var elapsed time.Duration
+		for i := 0; i < *fetch; i++ {
+			site := i % w.NumSites()
+			pid := w.Sites[site].Pages[i%len(w.Sites[site].Pages)]
+			res, err := client.FetchPage(cluster.PageURL(pid), pid)
+			if err != nil {
+				return err
+			}
+			localObjs += res.LocalChain.Objects
+			repoObjs += res.RemoteChain.Objects
+			elapsed += res.Elapsed
+			n++
+		}
+		fmt.Fprintf(stdout, "fetched %d pages: %d objects local, %d from the repository, avg %.1fms/page (loopback)\n",
+			n, localObjs, repoObjs, float64(elapsed.Milliseconds())/float64(n))
+	}
+
+	if *adapt {
+		fmt.Fprintln(stdout, "\nadaptive cycle: estimating frequencies from the access logs …")
+		counts := make(accesslog.Counts)
+		for _, s := range cluster.Sites {
+			counts.Merge(s.AccessCounts())
+		}
+		observed, err := accesslog.EstimateWorkload(w, counts)
+		if err != nil {
+			return err
+		}
+		envNew, err := model.NewEnv(observed, est, budgets)
+		if err != nil {
+			return err
+		}
+		fresh, freshResult, err := repro.Plan(envNew, repro.PlanOptions{})
+		if err != nil {
+			return err
+		}
+		for _, s := range cluster.Sites {
+			if err := s.ApplyPlacement(fresh); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stdout, "re-planned on observed traffic (D=%.1f) and applied live\n", freshResult.D)
+		for _, pid := range counts.TopPages(3) {
+			fmt.Fprintf(stdout, "  hottest observed: page %d (%d requests)\n", pid, counts[pid])
+		}
+	}
+
+	if *serve {
+		fmt.Fprintln(stdout, "\nserving — interrupt to stop")
+		select {}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "replserve: %v\n", err)
+		os.Exit(1)
+	}
+}

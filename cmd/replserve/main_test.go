@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunServeFetchAdapt(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fetch", "6", "-adapt"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"planned: D=", "repository: http://", "site S0:",
+		"fetched 6 pages", "adaptive cycle", "re-planned on observed traffic",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunServeNoFetch(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fetch", "0"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "fetched") {
+		t.Error("fetched despite -fetch 0")
+	}
+}
+
+func TestRunServeRejectsBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Command replsim runs one full simulation: it generates (or loads) a
+// workload, plans the proposed policy under the given budgets (or loads a
+// saved placement), simulates every policy of the paper's comparison —
+// Proposed, ideal LRU, Local, Remote — over identical request streams, and
+// prints the response-time comparison.
+//
+// Usage:
+//
+//	replsim [-w workload.json] [-p placement.json] [-seed N]
+//	        [-scale paper|small] [-storage F] [-capacity F]
+//	        [-requests N] [-queueing] [-percentiles]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replsim", flag.ContinueOnError)
+	wpath := fs.String("w", "", "workload JSON (from replgen); generated when empty")
+	seed := fs.Uint64("seed", 2026, "seed for generation, estimates and traffic")
+	scale := fs.String("scale", "paper", "workload scale when generating: paper or small")
+	storage := fs.Float64("storage", 1, "storage budget fraction")
+	capacity := fs.Float64("capacity", 1, "site capacity fraction")
+	requests := fs.Int("requests", 0, "page requests per site (0 = workload default)")
+	queueing := fs.Bool("queueing", false, "enable the server-occupancy queueing extension")
+	ppath := fs.String("p", "", "simulate this saved placement (from replplan -o) instead of re-planning")
+	percentiles := fs.Bool("percentiles", false, "also report p50/p90/p99 page response times")
+	bySite := fs.Bool("by-site", false, "also break the proposed policy's page response times down per site")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w *repro.Workload
+	var err error
+	if *wpath != "" {
+		w, err = repro.LoadWorkload(*wpath)
+	} else {
+		cfg := repro.DefaultWorkloadConfig()
+		if *scale == "small" {
+			cfg = repro.SmallWorkloadConfig()
+		}
+		w, err = repro.GenerateWorkload(cfg, *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	est, err := repro.DrawEstimates(repro.DefaultNetConfig(), w.NumSites(), repro.NewStream(*seed))
+	if err != nil {
+		return err
+	}
+
+	budgets := repro.FullBudgets(w).Scale(w, *storage, *capacity)
+	env, err := repro.NewEnv(w, est, budgets)
+	if err != nil {
+		return err
+	}
+	var placement *repro.Placement
+	if *ppath != "" {
+		placement, err = repro.LoadPlacement(w, *ppath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loaded placement from %s\n\n", *ppath)
+	} else {
+		var planResult *repro.PlanResult
+		placement, planResult, err = repro.Plan(env, repro.PlanOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "planned: D=%.2f feasible=%v\n\n", planResult.D, planResult.Feasible)
+	}
+
+	cfg := repro.DefaultSimConfig(w)
+	if *requests > 0 {
+		cfg.RequestsPerSite = *requests
+	}
+	cfg.Queueing = *queueing
+
+	lru, err := repro.NewLRUPolicy(w, budgets, *seed)
+	if err != nil {
+		return err
+	}
+
+	type entry struct {
+		pol  repro.Policy
+		warm bool
+	}
+	entries := []entry{
+		{repro.NewStaticPolicy("Proposed", placement), false},
+		{lru, true},
+		{repro.NewLocalPolicy(w), false},
+		{repro.NewRemotePolicy(w), false},
+	}
+
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	header := "policy\tmean page RT\tmean optional/view\tcomposite\tlocal req\trepo req"
+	if *percentiles {
+		header += "\tp50\tp90\tp99"
+	}
+	fmt.Fprintln(tw, header)
+	var base float64
+	var proposed *repro.SimResult
+	for i, e := range entries {
+		simCfg := cfg
+		simCfg.Warmup = e.warm
+		simCfg.RetainSamples = *percentiles
+		res, err := repro.Simulate(w, est, e.pol, simCfg, repro.NewStream(*seed+1))
+		if err != nil {
+			return err
+		}
+		comp := res.CompositeMean()
+		if i == 0 {
+			base = comp
+		}
+		fmt.Fprintf(tw, "%s\t%.2fs\t%.2fs\t%.2fs (%+.1f%%)\t%d\t%d",
+			res.Policy, res.PageRT.Mean(), res.OptPerView.Mean(), comp,
+			(comp/base-1)*100, res.LocalRequests, res.RepoRequests)
+		if *percentiles {
+			fmt.Fprintf(tw, "\t%.0fs\t%.0fs\t%.0fs",
+				res.Samples.Percentile(0.50), res.Samples.Percentile(0.90), res.Samples.Percentile(0.99))
+		}
+		fmt.Fprintln(tw)
+		if i == 0 {
+			proposed = res
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if *bySite && proposed != nil {
+		fmt.Fprintln(stdout, "\nper-site breakdown (Proposed):")
+		for si := range proposed.SitePageRT {
+			acc := &proposed.SitePageRT[si]
+			fmt.Fprintf(stdout, "  site %2d: mean %8.2fs over %d views\n", si, acc.Mean(), acc.N())
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "replsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Example reproduces the library's core flow: generate a workload, plan the
+// replication with the paper's algorithm, and compare the simulated
+// response time against the Remote baseline. Everything is seeded, so the
+// output is deterministic.
+func Example() {
+	w := repro.MustGenerateWorkload(repro.SmallWorkloadConfig(), 42)
+	est, err := repro.DrawEstimates(repro.DefaultNetConfig(), w.NumSites(), repro.NewStream(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := repro.NewEnv(w, est, repro.FullBudgets(w))
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement, result, err := repro.Plan(env, repro.PlanOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible: %v\n", result.Feasible)
+
+	cfg := repro.DefaultSimConfig(w)
+	cfg.RequestsPerSite = 300
+	ours, err := repro.Simulate(w, est, repro.NewStaticPolicy("Proposed", placement), cfg, repro.NewStream(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	remote, err := repro.Simulate(w, est, repro.NewRemotePolicy(w), cfg, repro.NewStream(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proposed beats all-remote: %v\n", ours.CompositeMean() < remote.CompositeMean())
+	// Output:
+	// feasible: true
+	// proposed beats all-remote: true
+}
+
+// ExamplePlan shows the planner under tight constraints: storage at 30 %
+// and processing at 50 % of Table-1 levels, with the repository capped so
+// the off-loading negotiation runs.
+func ExamplePlan() {
+	w := repro.MustGenerateWorkload(repro.SmallWorkloadConfig(), 42)
+	est, err := repro.DrawEstimates(repro.DefaultNetConfig(), w.NumSites(), repro.NewStream(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	budgets := repro.FullBudgets(w).Scale(w, 0.3, 0.5)
+
+	// Size C(R) relative to the load the sites' plans would impose
+	// (DESIGN.md §3.7): probe with an unconstrained repository first.
+	probeEnv, err := repro.NewEnv(w, est, budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe, _, err := repro.Plan(probeEnv, repro.PlanOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre := repro.Evaluate(probeEnv, probe).RepoLoad
+	budgets.RepoCapacity = repro.ReqPerSec(float64(pre) * 0.7)
+
+	env, err := repro.NewEnv(w, est, budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, result, err := repro.Plan(env, repro.PlanOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offload ran: %v, restored: %v\n", result.Offload.Ran, result.Offload.Restored)
+	fmt.Printf("feasible: %v\n", result.Feasible)
+	// Output:
+	// offload ran: true, restored: true
+	// feasible: true
+}
+
+// ExampleDiffPlacements computes the migration between two plans.
+func ExampleDiffPlacements() {
+	w := repro.MustGenerateWorkload(repro.SmallWorkloadConfig(), 42)
+	diff, err := repro.DiffPlacements(repro.AllRemote(w), repro.AllRemote(w))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self-migration bytes: %d\n", diff.TotalAddedBytes())
+	// Output:
+	// self-migration bytes: 0
+}

@@ -1,0 +1,54 @@
+// Quickstart: generate a workload, plan the replication with the paper's
+// algorithm, simulate it against the Remote/Local baselines, and print the
+// response-time comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. A small synthetic workload (same distributions as the paper's
+	// Table 1, ~50× less volume so this runs in milliseconds).
+	w := repro.MustGenerateWorkload(repro.SmallWorkloadConfig(), 42)
+	fmt.Printf("workload: %d sites, %d pages, %d multimedia objects\n",
+		w.NumSites(), w.NumPages(), w.NumObjects())
+
+	// 2. Network estimates: what the planner believes about transfer rates
+	// and connection overheads (Table-1 ranges).
+	est, err := repro.DrawEstimates(repro.DefaultNetConfig(), w.NumSites(), repro.NewStream(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Plan under full storage and the configured 150 req/s capacities.
+	env, err := repro.NewEnv(w, est, repro.FullBudgets(w))
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement, result, err := repro.Plan(env, repro.PlanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: objective D=%.1f, feasible=%v\n", result.D, result.Feasible)
+
+	// 4. Simulate: every policy sees the identical request stream and the
+	// identical per-request deviations from the estimates (§5.1 model).
+	cfg := repro.DefaultSimConfig(w)
+	cfg.RequestsPerSite = 1000
+	for _, pol := range []repro.Policy{
+		repro.NewStaticPolicy("Proposed", placement),
+		repro.NewLocalPolicy(w),
+		repro.NewRemotePolicy(w),
+	} {
+		res, err := repro.Simulate(w, est, pol, cfg, repro.NewStream(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s mean page RT %8.1fs   composite %8.1fs\n",
+			res.Policy, res.PageRT.Mean(), res.CompositeMean())
+	}
+}

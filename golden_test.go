@@ -1,0 +1,82 @@
+package repro
+
+// Characterization ("golden") tests: they pin exact numeric outputs for a
+// fixed seed so that *unintentional* behavior changes — a reordered loop, a
+// different tie-break, an accidental extra RNG draw — are caught
+// immediately. An intentional algorithm change may update the constants,
+// with the diff making the behavioral shift explicit in review. Everything
+// here is deterministic by construction (seeded math/rand, no map-order
+// dependence in any numeric path).
+
+import (
+	"math"
+	"testing"
+)
+
+const goldenTol = 1e-9 // relative
+
+func relClose(a, b float64) bool {
+	if b == 0 {
+		return a == 0
+	}
+	return math.Abs(a-b)/math.Abs(b) <= goldenTol
+}
+
+func goldenEnv(t *testing.T) *Env {
+	t.Helper()
+	w := MustGenerateWorkload(SmallWorkloadConfig(), 424242)
+	est, err := DrawEstimates(DefaultNetConfig(), w.NumSites(), NewStream(424242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(w, est, FullBudgets(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestGoldenWorkloadShape(t *testing.T) {
+	env := goldenEnv(t)
+	w := env.W
+	if got := w.NumPages(); got != 197 {
+		t.Errorf("pages = %d, want 197 (generator behavior changed)", got)
+	}
+	var bytes ByteSize
+	for _, o := range w.Objects {
+		bytes += o.Size
+	}
+	if got := int64(bytes); got != 505986835 {
+		t.Errorf("total object bytes = %d, want 505986835 (size sampling changed)", got)
+	}
+}
+
+func TestGoldenPlanObjective(t *testing.T) {
+	env := goldenEnv(t)
+	_, res, err := Plan(env, PlanOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantD = 28743.268873523462
+	if !relClose(res.D, wantD) {
+		t.Errorf("plan D = %.12g, want %.12g (planner behavior changed)", res.D, wantD)
+	}
+}
+
+func TestGoldenSimulation(t *testing.T) {
+	env := goldenEnv(t)
+	p, _, err := Plan(env, PlanOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig(env.W)
+	cfg.RequestsPerSite = 200
+	res, err := Simulate(env.W, env.Est, NewStaticPolicy("g", p), cfg, NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantMean = 1283.4768792205
+	if !relClose(res.PageRT.Mean(), wantMean) {
+		t.Errorf("simulated mean = %.12g, want %.12g (simulator behavior changed)", res.PageRT.Mean(), wantMean)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// AcceptResult reports how a site responded to an off-loading request.
+type AcceptResult struct {
+	Site     workload.SiteID
+	Target   units.ReqPerSec // workload the repository asked the site to take
+	Accepted units.ReqPerSec // workload actually moved local
+	Stored   int             // new replicas created while accepting
+	Swapped  int             // replicas exchanged by the swap phase
+}
+
+// freeCapacity returns P(S_i): the processing capacity left at site i.
+// An unconstrained site reports +Inf; the coordinator clamps it.
+func (pl *Planner) freeCapacity(i workload.SiteID) float64 {
+	c := float64(pl.env.Budgets.SiteCapacity[i])
+	if math.IsInf(c, 1) {
+		return math.Inf(1)
+	}
+	v := c - pl.siteLocalLoad[i]
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// freeSpace returns Space(S_i): the storage left at site i in bytes.
+func (pl *Planner) freeSpace(i workload.SiteID) units.ByteSize {
+	v := pl.env.Budgets.Storage[i] - pl.p.StorageUsed(i)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// AcceptWorkload implements the local server's side of the off-loading
+// protocol (Section 4.2): move up to target req/s of repository downloads to
+// the local server, choosing the (W_j, M_k) pairs with the minimum increase
+// in response time per req/s gained — the mirror of the processing-
+// restoration criterion. Three escalating sources are used, per the paper:
+// already-stored objects first (always allowed), then newly stored objects
+// when storage permits (the L1 case), then a swap phase that deallocates
+// low-traffic replicas to make room for higher-traffic ones (the L2 last
+// resort). The site never exceeds its own processing capacity.
+func (pl *Planner) AcceptWorkload(i workload.SiteID, target units.ReqPerSec) AcceptResult {
+	res := AcceptResult{Site: i, Target: target}
+	// soft is the repository's quota; hard is the site's own Eq. 8
+	// headroom. A flip may overshoot the quota (the last pair rarely lands
+	// exactly on it) but never the capacity.
+	soft := float64(target)
+	hard := pl.freeCapacity(i)
+	if soft <= 1e-12 || hard <= 1e-12 {
+		return res
+	}
+	if soft > hard {
+		soft = hard
+	}
+	gained := pl.acceptByFlipping(i, soft, hard, &res)
+	if soft-gained > 1e-9 {
+		gained += pl.acceptBySwapping(i, soft-gained, hard-gained, &res)
+	}
+	res.Accepted = units.ReqPerSec(gained)
+	return res
+}
+
+// acceptByFlipping flips repository downloads local, storing new objects as
+// space allows, until the soft quota is met (possibly overshooting it by
+// one flip, within the hard capacity headroom) or candidates run out.
+// Returns the req/s gained.
+func (pl *Planner) acceptByFlipping(i workload.SiteID, soft, hard float64, res *AcceptResult) float64 {
+	var items []heapItem
+	for _, pid := range pl.env.W.Sites[i].Pages {
+		pg := &pl.env.W.Pages[pid]
+		for idx := range pg.Compulsory {
+			if !pl.p.CompLocal(pid, idx) {
+				key := pl.previewFlipComp(pid, idx, true) / float64(pg.Freq)
+				items = append(items, heapItem{key: key, id: encodeRef(pid, idx, false)})
+			}
+		}
+		for idx, l := range pg.Optional {
+			if !pl.p.OptLocal(pid, idx) {
+				gain := float64(pg.Freq) * l.Prob
+				key := pl.previewFlipOpt(pid, idx, true) / gain
+				items = append(items, heapItem{key: key, id: encodeRef(pid, idx, true)})
+			}
+		}
+	}
+	h := newLazyHeap(items)
+
+	recompute := func(id int64) (float64, bool) {
+		j, idx, optional := decodeRef(id)
+		pg := &pl.env.W.Pages[j]
+		var k workload.ObjectID
+		var gain float64
+		if optional {
+			if pl.p.OptLocal(j, idx) {
+				return 0, false
+			}
+			k = pg.Optional[idx].Object
+			gain = float64(pg.Freq) * pg.Optional[idx].Prob
+		} else {
+			if pl.p.CompLocal(j, idx) {
+				return 0, false
+			}
+			k = pg.Compulsory[idx]
+			gain = float64(pg.Freq)
+		}
+		// A flip needs the object stored, or storable within free space.
+		if !pl.p.IsStored(i, k) && pl.env.W.ObjectSize(k) > pl.freeSpace(i) {
+			return 0, false
+		}
+		if optional {
+			return pl.previewFlipOpt(j, idx, true) / gain, true
+		}
+		return pl.previewFlipComp(j, idx, true) / gain, true
+	}
+
+	gained := 0.0
+	for soft-gained > 1e-9 {
+		id, _, ok := h.popFresh(recompute)
+		if !ok {
+			return gained
+		}
+		j, idx, optional := decodeRef(id)
+		pg := &pl.env.W.Pages[j]
+		var k workload.ObjectID
+		var gain float64
+		if optional {
+			k = pg.Optional[idx].Object
+			gain = float64(pg.Freq) * pg.Optional[idx].Prob
+		} else {
+			k = pg.Compulsory[idx]
+			gain = float64(pg.Freq)
+		}
+		if gain > hard-gained+1e-9 {
+			// Taking this pair would violate the site's own capacity; a
+			// later candidate may carry a smaller gain (optional links),
+			// so skip this one permanently rather than stopping.
+			continue
+		}
+		if !pl.p.IsStored(i, k) {
+			pl.p.Store(i, k)
+			res.Stored++
+		}
+		if optional {
+			pl.flipOpt(j, idx, true)
+		} else {
+			pl.flipComp(j, idx, true)
+		}
+		gained += gain
+	}
+	return gained
+}
+
+// acceptBySwapping implements the paper's last resort: deallocating stored
+// objects and allocating others can raise the site's local workload when
+// the store is full. Stored replicas are ranked by the local request rate
+// they carry (ascending); absent objects by the rate they could carry
+// (descending). A swap happens when the incoming object gains strictly more
+// workload than the outgoing one loses and the space works out. Returns the
+// net req/s gained.
+func (pl *Planner) acceptBySwapping(i workload.SiteID, soft, hard float64, res *AcceptResult) float64 {
+	type entry struct {
+		k    workload.ObjectID
+		rate float64
+		size units.ByteSize
+	}
+
+	// Local request rate currently carried by each stored object / gainable
+	// by each absent object.
+	carried := make(map[workload.ObjectID]float64)
+	potential := make(map[workload.ObjectID]float64)
+	for _, pid := range pl.env.W.Sites[i].Pages {
+		pg := &pl.env.W.Pages[pid]
+		for idx, k := range pg.Compulsory {
+			if pl.p.CompLocal(pid, idx) {
+				carried[k] += float64(pg.Freq)
+			} else if !pl.p.IsStored(i, k) {
+				potential[k] += float64(pg.Freq)
+			}
+		}
+		for idx, l := range pg.Optional {
+			if pl.p.OptLocal(pid, idx) {
+				carried[l.Object] += float64(pg.Freq) * l.Prob
+			} else if !pl.p.IsStored(i, l.Object) {
+				potential[l.Object] += float64(pg.Freq) * l.Prob
+			}
+		}
+	}
+
+	var outs, ins []entry
+	pl.p.StoredSet(i).ForEach(func(kk int) bool {
+		k := workload.ObjectID(kk)
+		outs = append(outs, entry{k, carried[k], pl.env.W.ObjectSize(k)})
+		return true
+	})
+	for k, rate := range potential {
+		ins = append(ins, entry{k, rate, pl.env.W.ObjectSize(k)})
+	}
+	sort.Slice(outs, func(a, b int) bool {
+		if outs[a].rate != outs[b].rate {
+			return outs[a].rate < outs[b].rate
+		}
+		return outs[a].k < outs[b].k
+	})
+	sort.Slice(ins, func(a, b int) bool {
+		if ins[a].rate != ins[b].rate {
+			return ins[a].rate > ins[b].rate
+		}
+		return ins[a].k < ins[b].k
+	})
+
+	gained := 0.0
+	for _, in := range ins {
+		if soft-gained <= 1e-9 {
+			break
+		}
+		if in.rate <= 1e-12 || in.rate > hard-gained+1e-9 {
+			continue
+		}
+		// Free space for the incoming object by evicting the cheapest
+		// replicas whose combined carried rate stays strictly below the
+		// gain (outs is sorted ascending, so once the cumulative lost rate
+		// reaches the gain no later candidate can help either).
+		var evict []entry
+		freed := pl.freeSpace(i)
+		lost := 0.0
+		for _, cand := range outs {
+			if freed >= in.size {
+				break
+			}
+			if !pl.p.IsStored(i, cand.k) {
+				continue // already evicted by an earlier swap
+			}
+			if lost+cand.rate >= in.rate {
+				break
+			}
+			evict = append(evict, cand)
+			freed += cand.size
+			lost += cand.rate
+		}
+		if freed < in.size {
+			continue // cannot make room profitably
+		}
+		for _, e := range evict {
+			pl.deallocate(i, e.k)
+		}
+		pl.p.Store(i, in.k)
+		res.Stored++
+		res.Swapped += len(evict)
+		// Flip every repository reference of the incoming object local.
+		for _, r := range pl.refs[i][in.k] {
+			if r.optional {
+				pl.flipOpt(r.page, r.idx, true)
+			} else {
+				pl.flipComp(r.page, r.idx, true)
+			}
+		}
+		gained += in.rate - lost
+	}
+	return gained
+}

@@ -1,0 +1,85 @@
+package core
+
+import "container/heap"
+
+// heapItem is one candidate in a lazy-greedy selection: an opaque id with a
+// possibly-stale key (smaller = apply earlier).
+type heapItem struct {
+	key float64
+	id  int64
+}
+
+// lazyHeap is a min-heap of heapItems supporting the lazy-greedy pattern
+// used by the restoration loops: keys are computed when items are pushed and
+// may go stale as the state mutates; Pop'd items are re-validated by the
+// caller and pushed back with a fresh key when they no longer beat the top.
+// Between two state mutations every key recomputation is deterministic, so
+// each item is refreshed at most once per mutation and the loop terminates.
+type lazyHeap struct {
+	items []heapItem
+}
+
+func (h *lazyHeap) Len() int           { return len(h.items) }
+func (h *lazyHeap) Less(i, j int) bool { return h.items[i].key < h.items[j].key }
+func (h *lazyHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *lazyHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *lazyHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// newLazyHeap heapifies the given items in place.
+func newLazyHeap(items []heapItem) *lazyHeap {
+	h := &lazyHeap{items: items}
+	heap.Init(h)
+	return h
+}
+
+// push adds an item.
+func (h *lazyHeap) push(it heapItem) { heap.Push(h, it) }
+
+// pop removes and returns the minimum item; ok is false when empty.
+func (h *lazyHeap) pop() (heapItem, bool) {
+	if h.Len() == 0 {
+		return heapItem{}, false
+	}
+	return heap.Pop(h).(heapItem), true
+}
+
+// peekKey returns the minimum key, or +inf semantics via ok=false when
+// empty.
+func (h *lazyHeap) peekKey() (float64, bool) {
+	if h.Len() == 0 {
+		return 0, false
+	}
+	return h.items[0].key, true
+}
+
+// popFresh implements the lazy-greedy pop: it returns the id whose *fresh*
+// key (as computed by recompute) is minimal. Items whose recompute returns
+// valid=false are dropped. ok=false when the heap is exhausted.
+func (h *lazyHeap) popFresh(recompute func(id int64) (key float64, valid bool)) (int64, float64, bool) {
+	const eps = 1e-12
+	for {
+		it, ok := h.pop()
+		if !ok {
+			return 0, 0, false
+		}
+		key, valid := recompute(it.id)
+		if !valid {
+			continue
+		}
+		if top, ok := h.peekKey(); ok && key > top+eps {
+			// Fresh key no longer beats the rest — refresh and retry.
+			// (Between two mutations recomputation is deterministic, so two
+			// items cannot alternate indefinitely: A re-pushed over B and B
+			// re-pushed over A would need key_A > key_B + eps and vice versa.)
+			h.push(heapItem{key: key, id: it.id})
+			continue
+		}
+		return it.id, key, true
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// PartitionPage runs the paper's PARTITION(W_j) heuristic on one page:
+// compulsory objects are visited in decreasing size order, each tentatively
+// added to both chains, and kept on the side that leaves the smaller
+// running maximum — exactly the pseudocode of Section 4.2 (the object goes
+// to the repository iff RemoteDownload + transfer < LocalDownload +
+// transfer). Objects assigned locally are stored at the page's site.
+//
+// Per the pseudocode the remote running time starts at Ovhd(R, S_i) even if
+// no object ends up remote; the planner's cached Eq. 4 value (0 for an
+// empty remote chain) is re-established by the flips themselves.
+func (pl *Planner) PartitionPage(j workload.PageID) {
+	pl.partitionPage(j, !pl.UnsortedPartition)
+}
+
+// PartitionPageUnsorted is the ablation of PARTITION's decreasing-size
+// visit order: objects are considered in their page order instead. Used by
+// the ablation benchmarks to quantify what the sort buys.
+func (pl *Planner) PartitionPageUnsorted(j workload.PageID) {
+	pl.partitionPage(j, false)
+}
+
+func (pl *Planner) partitionPage(j workload.PageID, bySize bool) {
+	pg := &pl.env.W.Pages[j]
+	est := pl.siteEstimateOf(pg.Site)
+
+	order := make([]int, len(pg.Compulsory))
+	for i := range order {
+		order[i] = i
+	}
+	if bySize {
+		sort.Slice(order, func(a, b int) bool {
+			sa := pl.env.W.ObjectSize(pg.Compulsory[order[a]])
+			sb := pl.env.W.ObjectSize(pg.Compulsory[order[b]])
+			if sa != sb {
+				return sa > sb // decreasing size
+			}
+			return order[a] < order[b] // stable tie-break for determinism
+		})
+	}
+
+	local := est.LocalOvhd + est.LocalRate.TransferTime(pg.HTMLSize)
+	remote := est.RepoOvhd
+
+	for _, idx := range order {
+		size := pl.env.W.ObjectSize(pg.Compulsory[idx])
+		remoteIf := remote + est.RepoRate.TransferTime(size)
+		localIf := local + est.LocalRate.TransferTime(size)
+		if remoteIf < localIf {
+			remote = remoteIf
+			pl.flipComp(j, idx, false)
+		} else {
+			local = localIf
+			pl.p.Store(pg.Site, pg.Compulsory[idx])
+			pl.flipComp(j, idx, true)
+		}
+	}
+}
+
+// PartitionSite runs PARTITION on every page of site i and then stores all
+// optional objects locally (Section 4.2: "Store all optional objects"),
+// marking their downloads local. Constraint restoration afterwards trims
+// whatever does not fit.
+func (pl *Planner) PartitionSite(i workload.SiteID) {
+	for _, pid := range pl.env.W.Sites[i].Pages {
+		pl.PartitionPage(pid)
+	}
+	for _, pid := range pl.env.W.Sites[i].Pages {
+		pg := &pl.env.W.Pages[pid]
+		for idx, l := range pg.Optional {
+			pl.p.Store(i, l.Object)
+			pl.flipOpt(pid, idx, true)
+		}
+	}
+}
+
+// PartitionAll runs PartitionSite on every site sequentially.
+func (pl *Planner) PartitionAll() {
+	for i := range pl.env.W.Sites {
+		pl.PartitionSite(workload.SiteID(i))
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Options controls plan execution.
+type Options struct {
+	// Workers bounds the per-site planning concurrency; 0 means
+	// GOMAXPROCS, 1 forces sequential execution.
+	Workers int
+	// Distributed runs the off-loading negotiation over channels with one
+	// goroutine per site instead of the sequential reference loop. The
+	// resulting placement is identical; the message pattern matches the
+	// paper's protocol description.
+	Distributed bool
+	// MessageLog, when non-nil, receives one line per off-loading protocol
+	// message.
+	MessageLog io.Writer
+	// UnsortedPartition and NoRepartition are ablation switches for the
+	// two design choices Section 4.2 calls out: the decreasing-size visit
+	// order of PARTITION and the re-partitioning step after storage
+	// deallocations. Normal planning leaves both false.
+	UnsortedPartition bool
+	NoRepartition     bool
+	// Refine enables the post-restoration improvement sweep (an extension
+	// beyond the paper — see Planner.RefineSite): profitable objects that
+	// fit in the space freed by the restoration are stored after all.
+	Refine bool
+}
+
+// SiteStats records what planning did at one site.
+type SiteStats struct {
+	Site          workload.SiteID
+	LocalComp     int // compulsory downloads assigned to the site
+	RemoteComp    int // compulsory downloads left on the repository
+	LocalOpt      int // optional links assigned to the site
+	StoredObjects int // replicas held after planning
+	Deallocs      int // storage-restoration deallocations
+	ProcFlips     int // processing-restoration flips
+}
+
+// Result reports a complete planning run.
+type Result struct {
+	Sites    []SiteStats
+	Offload  OffloadStats
+	D        float64 // final composite objective under the estimates
+	D1, D2   float64
+	Feasible bool
+	Report   *model.Report
+}
+
+// Plan runs the full pipeline of Section 4 over the environment: PARTITION
+// on every page, storage restoration (Eq. 10), processing restoration
+// (Eq. 8) — all per-site and embarrassingly parallel — followed by the
+// repository off-loading negotiation (Eq. 9). It returns the placement and
+// a result report.
+func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
+	pl := NewPlanner(env)
+	pl.UnsortedPartition = opts.UnsortedPartition
+	pl.NoRepartition = opts.NoRepartition
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numSites := env.W.NumSites()
+	if workers > numSites {
+		workers = numSites
+	}
+
+	stats := make([]SiteStats, numSites)
+	planSite := func(i workload.SiteID) {
+		pl.PartitionSite(i)
+		d := pl.RestoreStorageSite(i)
+		f := pl.RestoreProcessingSite(i)
+		if opts.Refine {
+			pl.RefineSite(i)
+		}
+		stats[i] = SiteStats{Site: i, Deallocs: d, ProcFlips: f}
+	}
+
+	if workers <= 1 {
+		for i := 0; i < numSites; i++ {
+			planSite(workload.SiteID(i))
+		}
+	} else {
+		// Distinct sites touch disjoint planner state (their own pages,
+		// stores, load cells and objective cells), so per-site planning
+		// parallelizes without locks.
+		sites := make(chan workload.SiteID)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range sites {
+					planSite(i)
+				}
+			}()
+		}
+		for i := 0; i < numSites; i++ {
+			sites <- workload.SiteID(i)
+		}
+		close(sites)
+		wg.Wait()
+	}
+
+	var off OffloadStats
+	if opts.Distributed {
+		off = pl.RunOffloadDistributed(opts.MessageLog)
+	} else {
+		off = pl.Offload(opts.MessageLog)
+	}
+
+	res := &Result{Sites: stats, Offload: off, D: pl.D(), D1: pl.D1(), D2: pl.D2()}
+	fillSiteStats(pl, res)
+	res.Report = model.Evaluate(env, pl.p)
+	res.Feasible = res.Report.Feasible()
+	return pl.p, res, nil
+}
+
+// fillSiteStats counts the final assignment shape per site.
+func fillSiteStats(pl *Planner, res *Result) {
+	w := pl.env.W
+	for i := range w.Sites {
+		st := &res.Sites[i]
+		st.StoredObjects = pl.p.StoredSet(workload.SiteID(i)).Count()
+		for _, pid := range w.Sites[i].Pages {
+			pg := &w.Pages[pid]
+			for idx := range pg.Compulsory {
+				if pl.p.CompLocal(pid, idx) {
+					st.LocalComp++
+				} else {
+					st.RemoteComp++
+				}
+			}
+			for idx := range pg.Optional {
+				if pl.p.OptLocal(pid, idx) {
+					st.LocalOpt++
+				}
+			}
+		}
+	}
+}
+
+// Write renders the result as a human-readable report.
+func (r *Result) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "plan: D=%.2f (D1=%.2f, D2=%.2f), feasible=%v\n", r.D, r.D1, r.D2, r.Feasible); err != nil {
+		return err
+	}
+	for _, s := range r.Sites {
+		if _, err := fmt.Fprintf(w, "site %2d: %d local / %d remote compulsory, %d local optional, %d replicas (deallocs %d, flips %d)\n",
+			s.Site, s.LocalComp, s.RemoteComp, s.LocalOpt, s.StoredObjects, s.Deallocs, s.ProcFlips); err != nil {
+			return err
+		}
+	}
+	if r.Offload.Ran {
+		if _, err := fmt.Fprintf(w, "offload: %d rounds, %d messages, moved %.2f req/s local, restored=%v\n",
+			r.Offload.Rounds, r.Offload.Messages, float64(r.Offload.MovedLocal), r.Offload.Restored); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,391 @@
+// Package core implements the paper's contribution (Section 4): the
+// per-page PARTITION heuristic that splits each page's compulsory objects
+// between the local server and the repository to minimize the parallel
+// download time, the greedy restoration of the storage (Eq. 10) and
+// processing (Eq. 8) constraints, and the repository off-loading negotiation
+// (Eq. 9) between the repository coordinator and the local servers.
+//
+// The package keeps an incrementally-maintained view of the cost model —
+// per-page chain times, the weighted objective D, and per-site loads — so
+// the greedy loops run in near-linear time; tests validate every cached
+// quantity against the pure recomputation in internal/model.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// objRef locates one reference of an object on a page: idx indexes the
+// page's Compulsory (optional == false) or Optional (optional == true) list.
+type objRef struct {
+	page     workload.PageID
+	idx      int
+	optional bool
+}
+
+// Planner carries the incremental planning state for one environment. It is
+// created by NewPlanner, driven by Plan (or the individual phases), and is
+// not safe for concurrent use except as documented in parallel.go (distinct
+// sites touch disjoint state).
+type Planner struct {
+	env *model.Env
+	p   *model.Placement
+
+	// Ablation switches (normally false; see Options and the ablation
+	// benchmarks): UnsortedPartition drops PARTITION's decreasing-size
+	// visit order; NoRepartition skips the re-partitioning step after a
+	// storage deallocation.
+	UnsortedPartition bool
+	NoRepartition     bool
+
+	// Per-page cached chain state (Eq. 3/4 under the estimates).
+	localBytes  []units.ByteSize // HTML + locally-assigned compulsory bytes
+	remoteBytes []units.ByteSize // repository-assigned compulsory bytes
+
+	// Incremental objective and loads, kept per site so the per-site
+	// planning phases can run concurrently without sharing hot words
+	// (distinct sites touch disjoint pages).
+	d1Site        []float64 // Σ f·Time(W_j) over the site's pages
+	d2Site        []float64 // Σ f·Time(W_j, M) over the site's pages
+	siteLocalLoad []float64 // Eq. 8 LHS per site
+	siteRepoLoad  []float64 // P(S_i, R) per site
+
+	// refs[i][k] lists every reference of object k by a page of site i;
+	// localMarks[i][k] counts how many of them are currently marked local
+	// (zero marks ⇒ the replica is free to deallocate).
+	refs       []map[workload.ObjectID][]objRef
+	localMarks []map[workload.ObjectID]int
+}
+
+// NewPlanner builds a planner with an all-remote placement.
+func NewPlanner(env *model.Env) *Planner {
+	w := env.W
+	pl := &Planner{
+		env:           env,
+		p:             model.NewPlacement(w),
+		localBytes:    make([]units.ByteSize, w.NumPages()),
+		remoteBytes:   make([]units.ByteSize, w.NumPages()),
+		d1Site:        make([]float64, w.NumSites()),
+		d2Site:        make([]float64, w.NumSites()),
+		siteLocalLoad: make([]float64, w.NumSites()),
+		siteRepoLoad:  make([]float64, w.NumSites()),
+		refs:          make([]map[workload.ObjectID][]objRef, w.NumSites()),
+		localMarks:    make([]map[workload.ObjectID]int, w.NumSites()),
+	}
+	for i := range pl.refs {
+		pl.refs[i] = make(map[workload.ObjectID][]objRef)
+		pl.localMarks[i] = make(map[workload.ObjectID]int)
+	}
+	for j := range w.Pages {
+		pg := &w.Pages[j]
+		pl.localBytes[j] = pg.HTMLSize
+		var rb units.ByteSize
+		for idx, k := range pg.Compulsory {
+			rb += w.ObjectSize(k)
+			pl.refs[pg.Site][k] = append(pl.refs[pg.Site][k], objRef{workload.PageID(j), idx, false})
+		}
+		for idx, l := range pg.Optional {
+			pl.refs[pg.Site][l.Object] = append(pl.refs[pg.Site][l.Object], objRef{workload.PageID(j), idx, true})
+		}
+		pl.remoteBytes[j] = rb
+
+		f := float64(pg.Freq)
+		pl.d1Site[pg.Site] += f * float64(pl.pageTime(workload.PageID(j)))
+		pl.d2Site[pg.Site] += f * float64(pl.pageOptTime(workload.PageID(j)))
+		pl.siteLocalLoad[pg.Site] += f // the HTML request
+		pl.siteRepoLoad[pg.Site] += f * pl.pageRepoPerView(workload.PageID(j))
+	}
+	return pl
+}
+
+// Env returns the planning environment.
+func (pl *Planner) Env() *model.Env { return pl.env }
+
+// Placement returns the planner's placement. Callers must not mutate it
+// directly while the planner is still in use.
+func (pl *Planner) Placement() *model.Placement { return pl.p }
+
+// localTime returns Eq. 3 for page j from the cached byte counts.
+func (pl *Planner) localTime(j workload.PageID) units.Seconds {
+	est := pl.env.SiteEst(j)
+	return est.LocalOvhd + est.LocalRate.TransferTime(pl.localBytes[j])
+}
+
+// remoteTime returns Eq. 4 for page j (0 when nothing is remote, matching
+// model.PageRemoteTime).
+func (pl *Planner) remoteTime(j workload.PageID) units.Seconds {
+	if pl.remoteBytes[j] == 0 {
+		return 0
+	}
+	est := pl.env.SiteEst(j)
+	return est.RepoOvhd + est.RepoRate.TransferTime(pl.remoteBytes[j])
+}
+
+// pageTime returns Eq. 5 for page j.
+func (pl *Planner) pageTime(j workload.PageID) units.Seconds {
+	return units.MaxSeconds(pl.localTime(j), pl.remoteTime(j))
+}
+
+// optOneTime returns the time of one download of page j's idx-th optional
+// link, on the side the placement currently assigns.
+func (pl *Planner) optOneTime(j workload.PageID, idx int) units.Seconds {
+	return pl.optOneTimeOn(j, idx, pl.p.OptLocal(j, idx))
+}
+
+// optOneTimeOn returns the same for an explicit side.
+func (pl *Planner) optOneTimeOn(j workload.PageID, idx int, local bool) units.Seconds {
+	pg := &pl.env.W.Pages[j]
+	est := pl.env.SiteEst(j)
+	size := pl.env.W.ObjectSize(pg.Optional[idx].Object)
+	if local {
+		return est.LocalOvhd + est.LocalRate.TransferTime(size)
+	}
+	return est.RepoOvhd + est.RepoRate.TransferTime(size)
+}
+
+// pageOptTime returns the Eq. 6 per-view expected optional seconds.
+func (pl *Planner) pageOptTime(j workload.PageID) units.Seconds {
+	pg := &pl.env.W.Pages[j]
+	var t units.Seconds
+	for idx, l := range pg.Optional {
+		t += units.Seconds(l.Prob) * pl.optOneTime(j, idx)
+	}
+	return t
+}
+
+// pageRepoPerView returns page j's per-view repository request count
+// (Eq. 9 inner term).
+func (pl *Planner) pageRepoPerView(j workload.PageID) float64 {
+	pg := &pl.env.W.Pages[j]
+	v := 0.0
+	for idx := range pg.Compulsory {
+		if !pl.p.CompLocal(j, idx) {
+			v++
+		}
+	}
+	for idx, l := range pg.Optional {
+		if !pl.p.OptLocal(j, idx) {
+			v += l.Prob
+		}
+	}
+	return v
+}
+
+// D returns the current composite objective α1·D1 + α2·D2.
+func (pl *Planner) D() float64 { return pl.env.Alpha1*pl.D1() + pl.env.Alpha2*pl.D2() }
+
+// D1 returns the cached Σ f·Time(W_j).
+func (pl *Planner) D1() float64 {
+	sum := 0.0
+	for _, v := range pl.d1Site {
+		sum += v
+	}
+	return sum
+}
+
+// D2 returns the cached Σ f·Time(W_j, M).
+func (pl *Planner) D2() float64 {
+	sum := 0.0
+	for _, v := range pl.d2Site {
+		sum += v
+	}
+	return sum
+}
+
+// SiteLoad returns the cached Eq. 8 LHS for site i.
+func (pl *Planner) SiteLoad(i workload.SiteID) units.ReqPerSec {
+	return units.ReqPerSec(pl.siteLocalLoad[i])
+}
+
+// SiteRepoLoad returns the cached P(S_i, R).
+func (pl *Planner) SiteRepoLoad(i workload.SiteID) units.ReqPerSec {
+	return units.ReqPerSec(pl.siteRepoLoad[i])
+}
+
+// RepoLoad returns the cached Eq. 9 LHS.
+func (pl *Planner) RepoLoad() units.ReqPerSec {
+	sum := 0.0
+	for _, v := range pl.siteRepoLoad {
+		sum += v
+	}
+	return units.ReqPerSec(sum)
+}
+
+// flipComp moves page j's idx-th compulsory object between the chains and
+// updates every cached quantity. It is a no-op if already on that side.
+// The caller manages the store (the object must be stored when toLocal).
+func (pl *Planner) flipComp(j workload.PageID, idx int, toLocal bool) {
+	if pl.p.CompLocal(j, idx) == toLocal {
+		return
+	}
+	pg := &pl.env.W.Pages[j]
+	size := pl.env.W.ObjectSize(pg.Compulsory[idx])
+	f := float64(pg.Freq)
+
+	oldT := pl.pageTime(j)
+	if toLocal {
+		pl.localBytes[j] += size
+		pl.remoteBytes[j] -= size
+		pl.siteLocalLoad[pg.Site] += f
+		pl.siteRepoLoad[pg.Site] -= f
+		pl.localMarks[pg.Site][pg.Compulsory[idx]]++
+	} else {
+		pl.localBytes[j] -= size
+		pl.remoteBytes[j] += size
+		pl.siteLocalLoad[pg.Site] -= f
+		pl.siteRepoLoad[pg.Site] += f
+		pl.localMarks[pg.Site][pg.Compulsory[idx]]--
+	}
+	pl.p.SetCompLocal(j, idx, toLocal)
+	pl.d1Site[pg.Site] += f * float64(pl.pageTime(j)-oldT)
+}
+
+// flipOpt moves page j's idx-th optional link between the sides and updates
+// the caches.
+func (pl *Planner) flipOpt(j workload.PageID, idx int, toLocal bool) {
+	if pl.p.OptLocal(j, idx) == toLocal {
+		return
+	}
+	pg := &pl.env.W.Pages[j]
+	l := pg.Optional[idx]
+	f := float64(pg.Freq)
+
+	oldOne := pl.optOneTime(j, idx)
+	pl.p.SetOptLocal(j, idx, toLocal)
+	newOne := pl.optOneTime(j, idx)
+	pl.d2Site[pg.Site] += f * l.Prob * float64(newOne-oldOne)
+	if toLocal {
+		pl.siteLocalLoad[pg.Site] += f * l.Prob
+		pl.siteRepoLoad[pg.Site] -= f * l.Prob
+		pl.localMarks[pg.Site][l.Object]++
+	} else {
+		pl.siteLocalLoad[pg.Site] -= f * l.Prob
+		pl.siteRepoLoad[pg.Site] += f * l.Prob
+		pl.localMarks[pg.Site][l.Object]--
+	}
+}
+
+// previewFlipComp returns the change in D if page j's idx-th compulsory
+// object moved to the given side, without mutating anything.
+func (pl *Planner) previewFlipComp(j workload.PageID, idx int, toLocal bool) float64 {
+	if pl.p.CompLocal(j, idx) == toLocal {
+		return 0
+	}
+	pg := &pl.env.W.Pages[j]
+	est := pl.env.SiteEst(j)
+	size := pl.env.W.ObjectSize(pg.Compulsory[idx])
+
+	lb, rb := pl.localBytes[j], pl.remoteBytes[j]
+	if toLocal {
+		lb += size
+		rb -= size
+	} else {
+		lb -= size
+		rb += size
+	}
+	newLocal := est.LocalOvhd + est.LocalRate.TransferTime(lb)
+	var newRemote units.Seconds
+	if rb > 0 {
+		newRemote = est.RepoOvhd + est.RepoRate.TransferTime(rb)
+	}
+	newT := units.MaxSeconds(newLocal, newRemote)
+	return pl.env.Alpha1 * float64(pg.Freq) * float64(newT-pl.pageTime(j))
+}
+
+// previewFlipOpt returns the change in D if page j's idx-th optional link
+// moved to the given side.
+func (pl *Planner) previewFlipOpt(j workload.PageID, idx int, toLocal bool) float64 {
+	if pl.p.OptLocal(j, idx) == toLocal {
+		return 0
+	}
+	pg := &pl.env.W.Pages[j]
+	delta := float64(pl.optOneTimeOn(j, idx, toLocal) - pl.optOneTime(j, idx))
+	return pl.env.Alpha2 * float64(pg.Freq) * pg.Optional[idx].Prob * delta
+}
+
+// VerifyConsistency recomputes every cached quantity with internal/model and
+// returns an error on any mismatch. Test-only by convention (it is O(n·m)).
+func (pl *Planner) VerifyConsistency() error {
+	const eps = 1e-6
+	if err := pl.p.CheckInvariants(); err != nil {
+		return err
+	}
+	if d1 := model.D1(pl.env, pl.p); !approxEqual(d1, pl.D1(), eps) {
+		return fmt.Errorf("core: cached D1 %v != recomputed %v", pl.D1(), d1)
+	}
+	if d2 := model.D2(pl.env, pl.p); !approxEqual(d2, pl.D2(), eps) {
+		return fmt.Errorf("core: cached D2 %v != recomputed %v", pl.D2(), d2)
+	}
+	// The mark counters must agree with the placement matrices.
+	for i := range pl.env.W.Sites {
+		want := make(map[workload.ObjectID]int)
+		for _, pid := range pl.env.W.Sites[i].Pages {
+			pg := &pl.env.W.Pages[pid]
+			for idx, k := range pg.Compulsory {
+				if pl.p.CompLocal(pid, idx) {
+					want[k]++
+				}
+			}
+			for idx, l := range pg.Optional {
+				if pl.p.OptLocal(pid, idx) {
+					want[l.Object]++
+				}
+			}
+		}
+		for k, n := range pl.localMarks[i] {
+			if n != want[k] {
+				return fmt.Errorf("core: site %d object %d mark count %d != %d", i, k, n, want[k])
+			}
+			delete(want, k)
+		}
+		for k, n := range want {
+			if n != 0 {
+				return fmt.Errorf("core: site %d object %d has %d marks but no counter", i, k, n)
+			}
+		}
+	}
+	for i := range pl.env.W.Sites {
+		id := workload.SiteID(i)
+		if l := float64(model.SiteLoad(pl.env, pl.p, id)); !approxEqual(l, pl.siteLocalLoad[i], eps) {
+			return fmt.Errorf("core: site %d cached load %v != recomputed %v", i, pl.siteLocalLoad[i], l)
+		}
+		if l := float64(model.SiteRepoLoad(pl.env, pl.p, id)); !approxEqual(l, pl.siteRepoLoad[i], eps) {
+			return fmt.Errorf("core: site %d cached repo load %v != recomputed %v", i, pl.siteRepoLoad[i], l)
+		}
+	}
+	for j := range pl.env.W.Pages {
+		id := workload.PageID(j)
+		if lt := model.PageLocalTime(pl.env, pl.p, id); !approxEqual(float64(lt), float64(pl.localTime(id)), eps) {
+			return fmt.Errorf("core: page %d cached local time %v != %v", j, pl.localTime(id), lt)
+		}
+		if rt := model.PageRemoteTime(pl.env, pl.p, id); !approxEqual(float64(rt), float64(pl.remoteTime(id)), eps) {
+			return fmt.Errorf("core: page %d cached remote time %v != %v", j, pl.remoteTime(id), rt)
+		}
+	}
+	return nil
+}
+
+func approxEqual(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if a > scale {
+		scale = a
+	}
+	if b > scale {
+		scale = b
+	}
+	return d <= eps*scale
+}
+
+// siteEstimateOf returns the estimate for site i.
+func (pl *Planner) siteEstimateOf(i workload.SiteID) netsim.SiteEstimate {
+	return pl.env.Est.Sites[i]
+}

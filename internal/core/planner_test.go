@@ -1,0 +1,371 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// handEnv builds the hand-checkable single-site environment used by the
+// partition tests: HTML 10 KB, compulsory objects of 100/50/20 KB, one
+// optional 30 KB link, B(S)=10 KB/s, B(R,S)=5 KB/s, Ovhd(S)=1 s,
+// Ovhd(R,S)=2 s, f = 1 req/s.
+func handEnv(t *testing.T) *model.Env {
+	t.Helper()
+	w := &workload.Workload{
+		Config: workload.Config{Alpha1: 2, Alpha2: 1},
+		Objects: []workload.Object{
+			{ID: 0, Size: 100 * units.KB},
+			{ID: 1, Size: 50 * units.KB},
+			{ID: 2, Size: 20 * units.KB},
+			{ID: 3, Size: 30 * units.KB},
+		},
+		Pages: []workload.Page{{
+			ID: 0, Site: 0, HTMLSize: 10 * units.KB, Freq: 1,
+			Compulsory: []workload.ObjectID{0, 1, 2},
+			Optional:   []workload.OptionalLink{{Object: 3, Prob: 0.03}},
+		}},
+		Sites: []workload.Site{{
+			ID: 0, Pages: []workload.PageID{0},
+			Objects:  []workload.ObjectID{0, 1, 2, 3},
+			Capacity: 150,
+		}},
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	est := &netsim.Estimates{Sites: []netsim.SiteEstimate{{
+		LocalRate: 10 * units.KBPerSec,
+		RepoRate:  5 * units.KBPerSec,
+		LocalOvhd: 1,
+		RepoOvhd:  2,
+	}}}
+	env, err := model.NewEnv(w, est, model.FullBudgets(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// genEnv builds a generated small environment with realistic estimates.
+func genEnv(t *testing.T, seed uint64) *model.Env {
+	t.Helper()
+	w := workload.MustGenerate(workload.SmallConfig(), seed)
+	est, err := netsim.DrawEstimates(netsim.DefaultConfig(), w.NumSites(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := model.NewEnv(w, est, model.FullBudgets(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestPartitionPageHandExample(t *testing.T) {
+	env := handEnv(t)
+	pl := NewPlanner(env)
+	pl.PartitionPage(0)
+
+	// Walkthrough (sizes visited 100, 50, 20):
+	//   local = 1 + 10/10 = 2, remote = 2
+	//   100K: remoteIf = 2+20 = 22, localIf = 2+10 = 12  -> local  (12)
+	//    50K: remoteIf = 2+10 = 12, localIf = 12+5 = 17  -> remote (12)
+	//    20K: remoteIf = 12+4 = 16, localIf = 12+2 = 14  -> local  (14)
+	if !pl.p.CompLocal(0, 0) {
+		t.Error("100 KB object should be local")
+	}
+	if pl.p.CompLocal(0, 1) {
+		t.Error("50 KB object should be remote")
+	}
+	if !pl.p.CompLocal(0, 2) {
+		t.Error("20 KB object should be local")
+	}
+	if got := float64(pl.pageTime(0)); math.Abs(got-14) > 1e-9 {
+		t.Errorf("page time = %v, want 14", got)
+	}
+	// Local objects must be stored; the remote one must not be forced in.
+	if !pl.p.IsStored(0, 0) || !pl.p.IsStored(0, 2) {
+		t.Error("local objects not stored")
+	}
+	if pl.p.IsStored(0, 1) {
+		t.Error("remote object needlessly stored")
+	}
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSiteStoresOptional(t *testing.T) {
+	env := handEnv(t)
+	pl := NewPlanner(env)
+	pl.PartitionSite(0)
+	if !pl.p.IsStored(0, 3) {
+		t.Error("optional object not stored")
+	}
+	if !pl.p.OptLocal(0, 0) {
+		t.Error("optional link not marked local")
+	}
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBeatsBothSingleChainsOnEstimates(t *testing.T) {
+	env := genEnv(t, 1)
+	pl := NewPlanner(env)
+	pl.PartitionAll()
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	d := pl.D()
+	dLocal := model.D(env, model.AllLocal(env.W))
+	dRemote := model.D(env, model.AllRemote(env.W))
+	if d > dLocal+1e-9 {
+		t.Errorf("partitioned D %v worse than all-local %v", d, dLocal)
+	}
+	if d > dRemote+1e-9 {
+		t.Errorf("partitioned D %v worse than all-remote %v", d, dRemote)
+	}
+}
+
+func TestPartitionPageGreedyInvariant(t *testing.T) {
+	// For every page, no single compulsory flip may improve the page's
+	// retrieval time: PARTITION should land in a 1-flip local optimum of
+	// Eq. 5. (The greedy visits objects in decreasing size; a profitable
+	// single flip afterwards would contradict its choice structure.)
+	env := genEnv(t, 2)
+	pl := NewPlanner(env)
+	pl.PartitionAll()
+	for j := range env.W.Pages {
+		pid := workload.PageID(j)
+		for idx := range env.W.Pages[j].Compulsory {
+			cur := pl.p.CompLocal(pid, idx)
+			if delta := pl.previewFlipComp(pid, idx, !cur); delta < -1e-9 {
+				t.Fatalf("page %d object idx %d: flipping %v→%v improves D by %v",
+					j, idx, cur, !cur, -delta)
+			}
+		}
+	}
+}
+
+func TestFlipCompUpdatesCaches(t *testing.T) {
+	env := handEnv(t)
+	pl := NewPlanner(env)
+	pl.p.Store(0, 0)
+	pl.flipComp(0, 0, true)
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	pl.flipComp(0, 0, true) // no-op
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	pl.flipComp(0, 0, false)
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.localMarks[0][0] != 0 {
+		t.Errorf("mark count = %d after flip round-trip", pl.localMarks[0][0])
+	}
+}
+
+func TestFlipOptUpdatesCaches(t *testing.T) {
+	env := handEnv(t)
+	pl := NewPlanner(env)
+	pl.p.Store(0, 3)
+	pl.flipOpt(0, 0, true)
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	pl.flipOpt(0, 0, false)
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreviewMatchesFlip(t *testing.T) {
+	env := genEnv(t, 3)
+	pl := NewPlanner(env)
+	pl.PartitionAll()
+	// For a sample of pages, previewFlip* must equal the actual ΔD.
+	count := 0
+	for j := range env.W.Pages {
+		if count >= 50 {
+			break
+		}
+		pid := workload.PageID(j)
+		pg := &env.W.Pages[j]
+		for idx := range pg.Compulsory {
+			cur := pl.p.CompLocal(pid, idx)
+			preview := pl.previewFlipComp(pid, idx, !cur)
+			before := pl.D()
+			if !cur {
+				pl.p.Store(pg.Site, pg.Compulsory[idx])
+			}
+			pl.flipComp(pid, idx, !cur)
+			got := pl.D() - before
+			if math.Abs(got-preview) > 1e-6*(1+math.Abs(preview)) {
+				t.Fatalf("page %d idx %d: preview %v actual %v", j, idx, preview, got)
+			}
+			pl.flipComp(pid, idx, cur) // restore
+			count++
+		}
+		for idx := range pg.Optional {
+			cur := pl.p.OptLocal(pid, idx)
+			preview := pl.previewFlipOpt(pid, idx, !cur)
+			before := pl.D()
+			if !cur {
+				pl.p.Store(pg.Site, pg.Optional[idx].Object)
+			}
+			pl.flipOpt(pid, idx, !cur)
+			got := pl.D() - before
+			if math.Abs(got-preview) > 1e-6*(1+math.Abs(preview)) {
+				t.Fatalf("page %d opt %d: preview %v actual %v", j, idx, preview, got)
+			}
+			pl.flipOpt(pid, idx, cur)
+			count++
+		}
+	}
+	if err := pl.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRef(t *testing.T) {
+	cases := []struct {
+		j   workload.PageID
+		idx int
+		opt bool
+	}{{0, 0, false}, {1, 5, true}, {8000, 84, true}, {123456, 2000, false}}
+	for _, c := range cases {
+		j, idx, opt := decodeRef(encodeRef(c.j, c.idx, c.opt))
+		if j != c.j || idx != c.idx || opt != c.opt {
+			t.Errorf("roundtrip (%d,%d,%v) -> (%d,%d,%v)", c.j, c.idx, c.opt, j, idx, opt)
+		}
+	}
+}
+
+func TestLazyHeap(t *testing.T) {
+	h := newLazyHeap([]heapItem{{key: 3, id: 3}, {key: 1, id: 1}, {key: 2, id: 2}})
+	order := []int64{}
+	for {
+		id, _, ok := h.popFresh(func(id int64) (float64, bool) { return float64(id), true })
+		if !ok {
+			break
+		}
+		order = append(order, id)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("pop order = %v", order)
+	}
+}
+
+func TestLazyHeapStaleKeys(t *testing.T) {
+	// Keys recompute to the reverse of the initial order: the heap must
+	// re-sort lazily and still drain fully.
+	h := newLazyHeap([]heapItem{{key: 1, id: 10}, {key: 2, id: 20}, {key: 3, id: 30}})
+	fresh := map[int64]float64{10: 9, 20: 5, 30: 1}
+	var order []int64
+	for {
+		id, key, ok := h.popFresh(func(id int64) (float64, bool) { return fresh[id], true })
+		if !ok {
+			break
+		}
+		if key != fresh[id] {
+			t.Errorf("returned key %v for id %d, want %v", key, id, fresh[id])
+		}
+		order = append(order, id)
+	}
+	if len(order) != 3 || order[0] != 30 || order[1] != 20 || order[2] != 10 {
+		t.Errorf("stale-key pop order = %v", order)
+	}
+}
+
+func TestLazyHeapDropsInvalid(t *testing.T) {
+	h := newLazyHeap([]heapItem{{key: 1, id: 1}, {key: 2, id: 2}})
+	id, _, ok := h.popFresh(func(id int64) (float64, bool) { return float64(id), id != 1 })
+	if !ok || id != 2 {
+		t.Errorf("got (%d,%v), want id 2", id, ok)
+	}
+	if _, _, ok := h.popFresh(func(int64) (float64, bool) { return 0, false }); ok {
+		t.Error("exhausted heap returned an item")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	env := genEnv(t, 57)
+	pl := NewPlanner(env)
+	pl.PartitionAll()
+
+	pid := env.W.Sites[0].Pages[0]
+	ex := pl.Explain(pid)
+	if ex.Page != pid || ex.Site != 0 {
+		t.Fatal("identity fields wrong")
+	}
+	if len(ex.Objects) != len(env.W.Pages[pid].Compulsory) {
+		t.Fatalf("explained %d objects", len(ex.Objects))
+	}
+	// Sorted by decreasing size.
+	for i := 1; i < len(ex.Objects); i++ {
+		if ex.Objects[i].Size > ex.Objects[i-1].Size {
+			t.Fatal("objects not size-sorted")
+		}
+	}
+	// Page time is the max of the chains and Bound names the larger one.
+	if ex.PageTime != units.MaxSeconds(ex.LocalTime, ex.RemoteTime) {
+		t.Fatal("page time inconsistent")
+	}
+	if (ex.Bound == "local") != (ex.LocalTime >= ex.RemoteTime) {
+		t.Fatal("bound label wrong")
+	}
+	// After PARTITION no single flip should improve D.
+	for _, o := range ex.Objects {
+		if o.FlipDelta < -1e-9 {
+			t.Errorf("object %d: profitable flip (ΔD=%v) survived PARTITION", o.Object, o.FlipDelta)
+		}
+		if o.Local && !o.Stored {
+			t.Errorf("object %d local but unstored", o.Object)
+		}
+	}
+
+	var sb strings.Builder
+	if err := ex.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"page W", "chains:", "flip ΔD"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("explanation missing %q", want)
+		}
+	}
+}
+
+func TestAdoptPlacement(t *testing.T) {
+	env := genEnv(t, 58)
+	// Build a reference plan, then adopt it into a fresh planner.
+	ref := NewPlanner(env)
+	ref.PartitionAll()
+
+	fresh := NewPlanner(env)
+	if err := fresh.AdoptPlacement(ref.Placement()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fresh.D()-ref.D()) > 1e-6 {
+		t.Errorf("adopted D %v != reference %v", fresh.D(), ref.D())
+	}
+	for i := range env.W.Sites {
+		id := workload.SiteID(i)
+		if !fresh.Placement().StoredSet(id).Equal(ref.Placement().StoredSet(id)) {
+			t.Fatalf("site %d store differs after adoption", i)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// tinyPropConfig is a very small workload for the randomized planner
+// property test (many instances per run).
+func tinyPropConfig() workload.Config {
+	c := workload.SmallConfig()
+	c.Sites = 2
+	c.PagesPerSiteMin = 8
+	c.PagesPerSiteMax = 15
+	c.GlobalObjects = 200
+	c.ObjectsPerSite = 40
+	c.ObjectsPerMax = 80
+	c.CompulsoryMin = 2
+	c.CompulsoryMax = 8
+	c.OptionalMin = 2
+	c.OptionalMax = 6
+	return c
+}
+
+// TestPlanPropertyRandomBudgets drives the full pipeline over random
+// (workload seed, storage fraction, capacity fraction, repository fraction)
+// tuples and asserts the planner's contract on every one:
+//
+//  1. the placement invariants hold (local marks backed by replicas),
+//  2. the planner's cached objective equals the model's recomputation,
+//  3. storage budgets are respected whenever they are above the HTML floor,
+//  4. site capacity is respected whenever it is above the HTML-rate floor,
+//  5. the plan never loses to BOTH baselines at once under the estimates.
+func TestPlanPropertyRandomBudgets(t *testing.T) {
+	cfg := tinyPropConfig()
+	prop := func(seed uint64, sFrac, cFrac, rFrac float64) bool {
+		// Map the raw quick inputs into sane ranges.
+		storage := math.Abs(math.Mod(sFrac, 1))
+		capacity := 0.05 + math.Abs(math.Mod(cFrac, 1))*0.95
+		repo := 0.3 + math.Abs(math.Mod(rFrac, 1))*0.7
+
+		w, err := workload.Generate(cfg, seed%1000)
+		if err != nil {
+			t.Logf("generate: %v", err)
+			return false
+		}
+		est, err := netsim.DrawEstimates(netsim.DefaultConfig(), w.NumSites(), rng.New(seed))
+		if err != nil {
+			t.Logf("estimates: %v", err)
+			return false
+		}
+		budgets := model.FullBudgets(w).Scale(w, storage, capacity)
+		env, err := model.NewEnv(w, est, budgets)
+		if err != nil {
+			t.Logf("env: %v", err)
+			return false
+		}
+
+		// First plan unconstrained-repo to size C(R), then re-plan with it.
+		probe, _, err := Plan(env, Options{Workers: 1})
+		if err != nil {
+			t.Logf("probe plan: %v", err)
+			return false
+		}
+		pre := model.RepoLoad(env, probe)
+		env.Budgets.RepoCapacity = units.ReqPerSec(float64(pre) * repo)
+
+		pl := NewPlanner(env)
+		pl.PartitionAll()
+		for i := range w.Sites {
+			pl.RestoreStorageSite(workload.SiteID(i))
+			pl.RestoreProcessingSite(workload.SiteID(i))
+		}
+		pl.Offload(nil)
+
+		// (1) + (2): cached state consistent with the pure model.
+		if err := pl.VerifyConsistency(); err != nil {
+			t.Logf("consistency: %v", err)
+			return false
+		}
+
+		// (3) storage.
+		for i := range w.Sites {
+			id := workload.SiteID(i)
+			if env.Budgets.Storage[i] >= w.HTMLStorageBytes(id) &&
+				pl.Placement().StorageUsed(id) > env.Budgets.Storage[i] {
+				t.Logf("site %d storage %v over %v (storage=%.2f)", i,
+					pl.Placement().StorageUsed(id), env.Budgets.Storage[i], storage)
+				return false
+			}
+		}
+		// (4) capacity above the HTML floor.
+		for i := range w.Sites {
+			id := workload.SiteID(i)
+			var htmlRate float64
+			for _, pid := range w.Sites[i].Pages {
+				htmlRate += float64(w.Pages[pid].Freq)
+			}
+			capRHS := float64(env.Budgets.SiteCapacity[i])
+			if capRHS >= htmlRate && float64(pl.SiteLoad(id)) > capRHS*(1+1e-9)+1e-9 {
+				t.Logf("site %d load %v over %v", i, pl.SiteLoad(id), capRHS)
+				return false
+			}
+		}
+		// (5) never worse than both baselines simultaneously.
+		d := pl.D()
+		dLocal := model.D(env, model.AllLocal(w))
+		dRemote := model.D(env, model.AllRemote(w))
+		if d > dLocal+1e-6 && d > dRemote+1e-6 {
+			t.Logf("plan D %v loses to both local %v and remote %v", d, dLocal, dRemote)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// ref id encoding for the processing-restoration heap: a (page, idx,
+// optional) triple packed into an int64. Optional indices go up to the
+// workload's optional-per-page maximum; 21 bits of idx is far beyond any
+// realistic page.
+func encodeRef(j workload.PageID, idx int, optional bool) int64 {
+	id := int64(j)<<22 | int64(idx)<<1
+	if optional {
+		id |= 1
+	}
+	return id
+}
+
+func decodeRef(id int64) (workload.PageID, int, bool) {
+	return workload.PageID(id >> 22), int((id >> 1) & ((1 << 21) - 1)), id&1 == 1
+}
+
+// deallocCost returns the increase in D caused by deallocating object k at
+// site i: every page currently downloading k locally is forced to the
+// repository. References live on distinct pages (an object appears at most
+// once per page), so the per-reference previews are exactly additive.
+func (pl *Planner) deallocCost(i workload.SiteID, k workload.ObjectID) float64 {
+	cost := 0.0
+	for _, r := range pl.refs[i][k] {
+		if r.optional {
+			if pl.p.OptLocal(r.page, r.idx) {
+				cost += pl.previewFlipOpt(r.page, r.idx, false)
+			}
+		} else if pl.p.CompLocal(r.page, r.idx) {
+			cost += pl.previewFlipComp(r.page, r.idx, false)
+		}
+	}
+	return cost
+}
+
+// deallocate removes object k from site i's store, flipping every local
+// reference to the repository first. It returns the affected pages.
+func (pl *Planner) deallocate(i workload.SiteID, k workload.ObjectID) []workload.PageID {
+	var affected []workload.PageID
+	for _, r := range pl.refs[i][k] {
+		if r.optional {
+			if pl.p.OptLocal(r.page, r.idx) {
+				pl.flipOpt(r.page, r.idx, false)
+				affected = append(affected, r.page)
+			}
+		} else if pl.p.CompLocal(r.page, r.idx) {
+			pl.flipComp(r.page, r.idx, false)
+			affected = append(affected, r.page)
+		}
+	}
+	pl.p.Unstore(i, k)
+	return affected
+}
+
+// improvePage re-examines page j after a deallocation disturbed its chains
+// (Section 4.2's re-partitioning step): objects that are stored at the
+// page's site but marked for repository download may now reduce the
+// retrieval time if flipped local. Flips repeat until none improves D, so
+// the page ends in a local optimum of single flips. Only already-stored
+// objects are considered — this step never allocates storage.
+func (pl *Planner) improvePage(j workload.PageID) (flips int) {
+	pg := &pl.env.W.Pages[j]
+	site := pg.Site
+	for {
+		improved := false
+		for idx, k := range pg.Compulsory {
+			if !pl.p.CompLocal(j, idx) && pl.p.IsStored(site, k) &&
+				pl.previewFlipComp(j, idx, true) < -1e-12 {
+				pl.flipComp(j, idx, true)
+				flips++
+				improved = true
+			}
+		}
+		for idx, l := range pg.Optional {
+			if !pl.p.OptLocal(j, idx) && pl.p.IsStored(site, l.Object) &&
+				pl.previewFlipOpt(j, idx, true) < -1e-12 {
+				pl.flipOpt(j, idx, true)
+				flips++
+				improved = true
+			}
+		}
+		if !improved {
+			return flips
+		}
+	}
+}
+
+// RestoreStorageSite enforces Eq. 10 at site i by greedy deallocation: while
+// the store exceeds the budget, it removes the stored object with the least
+// ΔD per byte freed (the amortization the paper prescribes for judicious
+// treatment of large objects), then re-partitions the pages that lost a
+// local download. Returns the number of deallocations.
+func (pl *Planner) RestoreStorageSite(i workload.SiteID) (deallocs int) {
+	budget := pl.env.Budgets.Storage[i]
+	if pl.p.StorageUsed(i) <= budget {
+		return 0
+	}
+
+	var items []heapItem
+	pl.p.StoredSet(i).ForEach(func(kk int) bool {
+		k := workload.ObjectID(kk)
+		size := float64(pl.env.W.ObjectSize(k))
+		items = append(items, heapItem{key: pl.deallocCost(i, k) / size, id: int64(k)})
+		return true
+	})
+	h := newLazyHeap(items)
+
+	recompute := func(id int64) (float64, bool) {
+		k := workload.ObjectID(id)
+		if !pl.p.IsStored(i, k) {
+			return 0, false
+		}
+		return pl.deallocCost(i, k) / float64(pl.env.W.ObjectSize(k)), true
+	}
+
+	for pl.p.StorageUsed(i) > budget {
+		id, _, ok := h.popFresh(recompute)
+		if !ok {
+			// Nothing left to deallocate; only HTML remains. The budget is
+			// below the HTML floor — report infeasibility via the caller's
+			// constraint check.
+			return deallocs
+		}
+		affected := pl.deallocate(i, workload.ObjectID(id))
+		deallocs++
+		if !pl.NoRepartition {
+			for _, j := range affected {
+				pl.improvePage(j)
+			}
+		}
+	}
+	return deallocs
+}
+
+// RestoreProcessingSite enforces Eq. 8 at site i: while the site's request
+// load exceeds its capacity, the (page, object) local download whose move to
+// the repository costs the least ΔD per req/s freed is flipped remote. An
+// object left with no local marks is deallocated, further freeing storage
+// (Section 4.2). Returns the number of flips.
+func (pl *Planner) RestoreProcessingSite(i workload.SiteID) (flips int) {
+	capacity := float64(pl.env.Budgets.SiteCapacity[i])
+	if math.IsInf(capacity, 1) || pl.siteLocalLoad[i] <= capacity {
+		return 0
+	}
+
+	var items []heapItem
+	for _, pid := range pl.env.W.Sites[i].Pages {
+		pg := &pl.env.W.Pages[pid]
+		for idx := range pg.Compulsory {
+			if pl.p.CompLocal(pid, idx) {
+				key := pl.previewFlipComp(pid, idx, false) / float64(pg.Freq)
+				items = append(items, heapItem{key: key, id: encodeRef(pid, idx, false)})
+			}
+		}
+		for idx, l := range pg.Optional {
+			if pl.p.OptLocal(pid, idx) {
+				freed := float64(pg.Freq) * l.Prob
+				key := pl.previewFlipOpt(pid, idx, false) / freed
+				items = append(items, heapItem{key: key, id: encodeRef(pid, idx, true)})
+			}
+		}
+	}
+	h := newLazyHeap(items)
+
+	recompute := func(id int64) (float64, bool) {
+		j, idx, optional := decodeRef(id)
+		pg := &pl.env.W.Pages[j]
+		if optional {
+			if !pl.p.OptLocal(j, idx) {
+				return 0, false
+			}
+			freed := float64(pg.Freq) * pg.Optional[idx].Prob
+			return pl.previewFlipOpt(j, idx, false) / freed, true
+		}
+		if !pl.p.CompLocal(j, idx) {
+			return 0, false
+		}
+		return pl.previewFlipComp(j, idx, false) / float64(pg.Freq), true
+	}
+
+	for pl.siteLocalLoad[i] > capacity {
+		id, _, ok := h.popFresh(recompute)
+		if !ok {
+			// Every MO download already goes to the repository; the residual
+			// load is the HTML requests themselves, which cannot move.
+			return flips
+		}
+		j, idx, optional := decodeRef(id)
+		pg := &pl.env.W.Pages[j]
+		var k workload.ObjectID
+		if optional {
+			k = pg.Optional[idx].Object
+			pl.flipOpt(j, idx, false)
+		} else {
+			k = pg.Compulsory[idx]
+			pl.flipComp(j, idx, false)
+		}
+		flips++
+		if pl.localMarks[i][k] == 0 {
+			pl.p.Unstore(i, k)
+		}
+	}
+	return flips
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/policies"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// planProbe plans the proposed policy under the environment and returns the
+// placement (Figure 3 uses it to size the repository's capacity relative to
+// the pre-offload load).
+func planProbe(env *model.Env) (*model.Placement, *core.Result, error) {
+	return core.Plan(env, core.Options{Workers: 1})
+}
+
+// Table1 generates one full workload per the options and returns its audit
+// summary — the reproduction of the paper's Table 1 (and the §5.2 "1.8 GB
+// average" storage claim).
+func Table1(opts Options) (*workload.Summary, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	wSeed := rng.New(opts.Seed).Split(runWorkloadStream, 0).Seed()
+	w, err := workload.Generate(opts.Workload, wSeed)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Summarize(w), nil
+}
+
+// EquivalenceResult reports the §5.2 storage-equivalence claim: the
+// smallest storage fraction at which the proposed policy matches the
+// response time of ideal LRU (and Local) at 100 % storage. The paper finds
+// ≈65 %.
+type EquivalenceResult struct {
+	// Fraction is the smallest sweep fraction whose proposed-policy
+	// response time is at or below the LRU-at-100 % level.
+	Fraction float64
+	// ProposedAt holds the proposed policy's mean relative increase (%) per
+	// storage fraction; LRUFull and LocalLevel are the reference levels.
+	ProposedAt map[float64]float64
+	LRUFull    float64
+	LocalLevel float64
+}
+
+// StorageEquivalence measures the claim over the options' runs.
+func StorageEquivalence(opts Options) (*EquivalenceResult, error) {
+	col := newCollector()
+	err := forEachRun(&opts, func(r int, env *runEnv) error {
+		full := unconstrainedBudgets(env.w)
+		lruPol, err := policies.NewLRU(env.w, full, env.simSeed+uint64(r))
+		if err != nil {
+			return err
+		}
+		lruRT, err := env.simulate(lruPol, true)
+		if err != nil {
+			return err
+		}
+		col.add("LRU@100", 100, stats.RelativeIncrease(lruRT, env.baseRT))
+
+		localRT, err := env.simulate(policies.NewLocal(env.w), false)
+		if err != nil {
+			return err
+		}
+		col.add("Local", 100, stats.RelativeIncrease(localRT, env.baseRT))
+
+		for _, frac := range StorageGrid {
+			b := unconstrainedBudgets(env.w).Scale(env.w, frac, 1)
+			for i := range b.SiteCapacity {
+				b.SiteCapacity[i] = model.Infinite()
+			}
+			b.RepoCapacity = model.Infinite()
+			rt, err := env.simulatePlanned(b, false)
+			if err != nil {
+				return err
+			}
+			col.add("Proposed", frac*100, stats.RelativeIncrease(rt, env.baseRT))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	res := &EquivalenceResult{Fraction: 1, ProposedAt: make(map[float64]float64)}
+	res.LRUFull = col.data["LRU@100"][100].Mean()
+	res.LocalLevel = col.data["Local"][100].Mean()
+	for _, frac := range StorageGrid {
+		res.ProposedAt[frac] = col.data["Proposed"][frac*100].Mean()
+	}
+	for _, frac := range StorageGrid {
+		if res.ProposedAt[frac] <= res.LRUFull {
+			res.Fraction = frac
+			break
+		}
+	}
+	return res, nil
+}
+
+// Write renders the equivalence result.
+func (r *EquivalenceResult) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "LRU @ 100%% storage: +%.1f%%  |  Local: +%.1f%%\n", r.LRUFull, r.LocalLevel); err != nil {
+		return err
+	}
+	for _, frac := range StorageGrid {
+		marker := ""
+		if frac == r.Fraction {
+			marker = "  <-- matches LRU@100%"
+		}
+		if _, err := fmt.Fprintf(w, "proposed @ %3.0f%% storage: %+.1f%%%s\n", frac*100, r.ProposedAt[frac], marker); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "equivalence fraction: %.0f%% (paper: ≈65%%)\n", r.Fraction*100)
+	return err
+}

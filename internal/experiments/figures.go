@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/policies"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// collector accumulates per-(series, x) relative response times across runs
+// thread-safely (runs execute concurrently).
+type collector struct {
+	mu   sync.Mutex
+	data map[string]map[float64]*stats.Accumulator
+	xs   map[string][]float64 // insertion order per series
+}
+
+func newCollector() *collector {
+	return &collector{
+		data: make(map[string]map[float64]*stats.Accumulator),
+		xs:   make(map[string][]float64),
+	}
+}
+
+// add records one run's relative increase (percent) at x for the series.
+func (c *collector) add(series string, x, relPct float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.data[series]
+	if !ok {
+		m = make(map[float64]*stats.Accumulator)
+		c.data[series] = m
+	}
+	acc, ok := m[x]
+	if !ok {
+		acc = &stats.Accumulator{}
+		m[x] = acc
+		c.xs[series] = append(c.xs[series], x)
+	}
+	acc.Add(relPct)
+}
+
+// figure renders the collected series, in the given order, as a Figure.
+func (c *collector) figure(title, xlabel string, order []string) *stats.Figure {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := &stats.Figure{Title: title, XLabel: xlabel, YLabel: "% increase in response time vs unconstrained proposed"}
+	for _, name := range order {
+		m, ok := c.data[name]
+		if !ok {
+			continue
+		}
+		s := f.AddSeries(name)
+		for _, x := range sortedKeys(c.xs[name], m) {
+			acc := m[x]
+			s.Add(x, acc.Mean(), acc.CI95())
+		}
+	}
+	return f
+}
+
+func sortedKeys(order []float64, m map[float64]*stats.Accumulator) []float64 {
+	// Preserve insertion order but deduplicate (runs insert the same grid).
+	seen := make(map[float64]bool, len(order))
+	out := make([]float64, 0, len(m))
+	for _, x := range order {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// StorageGrid is the Figure-1 sweep of local storage fractions.
+var StorageGrid = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// CapacityGrid is the Figure-2/3 sweep of local processing fractions.
+var CapacityGrid = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// CentralGrid is Figure 3's repository capacity fractions.
+var CentralGrid = []float64{0.9, 0.7, 0.5}
+
+// Figure1 reproduces the paper's Figure 1: average response time versus
+// local storage capacity with the processing constraint relaxed, for the
+// proposed policy and ideal LRU, plus the flat Remote and Local reference
+// levels (the paper reports +335 % and +23.8 %).
+func Figure1(opts Options) (*stats.Figure, error) {
+	col := newCollector()
+	err := forEachRun(&opts, func(r int, env *runEnv) error {
+		// Flat references, no constraints (§5.2).
+		remoteRT, err := env.simulate(policies.NewRemote(env.w), false)
+		if err != nil {
+			return err
+		}
+		localRT, err := env.simulate(policies.NewLocal(env.w), false)
+		if err != nil {
+			return err
+		}
+
+		for _, frac := range StorageGrid {
+			b := unconstrainedBudgets(env.w).Scale(env.w, frac, 1)
+			// Scale keeps capacities; re-relax them explicitly.
+			for i := range b.SiteCapacity {
+				b.SiteCapacity[i] = model.Infinite()
+			}
+			b.RepoCapacity = model.Infinite()
+
+			oursRT, err := env.simulatePlanned(b, false)
+			if err != nil {
+				return err
+			}
+			col.add("Proposed", frac*100, stats.RelativeIncrease(oursRT, env.baseRT))
+
+			lruPol, err := policies.NewLRU(env.w, b, env.simSeed+uint64(r))
+			if err != nil {
+				return err
+			}
+			lruRT, err := env.simulate(lruPol, true) // warm (ideal) cache
+			if err != nil {
+				return err
+			}
+			col.add("LRU", frac*100, stats.RelativeIncrease(lruRT, env.baseRT))
+
+			col.add("Remote", frac*100, stats.RelativeIncrease(remoteRT, env.baseRT))
+			col.add("Local", frac*100, stats.RelativeIncrease(localRT, env.baseRT))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col.figure("Figure 1: response time vs local storage capacity", "storage %",
+		[]string{"Proposed", "LRU", "Local", "Remote"}), nil
+}
+
+// Figure2 reproduces Figure 2: average response time versus local
+// processing capacity at 100 % storage (the paper's double-exponential
+// curve, reaching the Remote level at 0 % capacity).
+func Figure2(opts Options) (*stats.Figure, error) {
+	col := newCollector()
+	err := forEachRun(&opts, func(r int, env *runEnv) error {
+		for _, frac := range CapacityGrid {
+			b := model.FullBudgets(env.w).Scale(env.w, 1, frac)
+			b.RepoCapacity = model.Infinite()
+			oursRT, err := env.simulatePlanned(b, false)
+			if err != nil {
+				return err
+			}
+			col.add("Proposed", frac*100, stats.RelativeIncrease(oursRT, env.baseRT))
+		}
+		// The 0 % anchor: everything is forced remote.
+		b := model.FullBudgets(env.w).Scale(env.w, 1, 0)
+		b.RepoCapacity = model.Infinite()
+		zeroRT, err := env.simulatePlanned(b, false)
+		if err != nil {
+			return err
+		}
+		col.add("Proposed", 0, stats.RelativeIncrease(zeroRT, env.baseRT))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col.figure("Figure 2: response time vs local processing capacity (100% storage)",
+		"processing capacity %", []string{"Proposed"}), nil
+}
+
+// Figure3 reproduces Figure 3: response time versus local processing
+// capacity when the repository can serve only 90 %, 70 % or 50 % of the
+// workload the sites' pre-offload plans direct at it, activating the
+// off-loading negotiation.
+func Figure3(opts Options) (*stats.Figure, error) {
+	col := newCollector()
+	err := forEachRun(&opts, func(r int, env *runEnv) error {
+		for _, localFrac := range CapacityGrid {
+			// Probe: plan with an unconstrained repository to find the
+			// workload the local plans would impose on it.
+			probe := model.FullBudgets(env.w).Scale(env.w, 1, localFrac)
+			probe.RepoCapacity = model.Infinite()
+			probeEnv, err := model.NewEnv(env.w, env.est, probe)
+			if err != nil {
+				return err
+			}
+			pp, _, err := planProbe(probeEnv)
+			if err != nil {
+				return err
+			}
+			preLoad := model.RepoLoad(probeEnv, pp)
+
+			for _, centralFrac := range CentralGrid {
+				b := model.FullBudgets(env.w).Scale(env.w, 1, localFrac)
+				b.RepoCapacity = units.ReqPerSec(float64(preLoad) * centralFrac)
+				rt, err := env.simulatePlanned(b, false)
+				if err != nil {
+					return err
+				}
+				col.add(seriesName(centralFrac), localFrac*100, stats.RelativeIncrease(rt, env.baseRT))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col.figure("Figure 3: response time vs local capacity under constrained repository",
+		"local processing capacity %",
+		[]string{seriesName(0.9), seriesName(0.7), seriesName(0.5)}), nil
+}
+
+func seriesName(centralFrac float64) string {
+	switch centralFrac {
+	case 0.9:
+		return "C(R)=90%"
+	case 0.7:
+		return "C(R)=70%"
+	case 0.5:
+		return "C(R)=50%"
+	}
+	return "C(R)=?"
+}

@@ -1,0 +1,95 @@
+// Package experiments regenerates the paper's evaluation (Section 5): the
+// Table-1 workload audit, Figure 1 (response time vs local storage,
+// proposed policy vs ideal LRU, with the Remote/Local reference levels),
+// Figure 2 (response time vs local processing capacity) and Figure 3
+// (response time vs local capacity for constrained repository capacities),
+// plus the §5.2 storage-equivalence claim (the proposed policy matching
+// LRU/Local with ≈65 % of the storage). Every experiment averages over
+// independent runs — fresh workload, estimates and request streams — and
+// reports response times relative to the proposed policy with no
+// constraints, exactly as the paper plots them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// Options configures an experiment.
+type Options struct {
+	Workload workload.Config
+	Net      netsim.Config
+	Perturb  netsim.PerturbConfig
+
+	// Runs is the number of independent repetitions averaged per point
+	// (the paper uses 20).
+	Runs int
+	// Seed derives every run's workload, estimates and request streams.
+	Seed uint64
+	// Workers bounds run-level parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// RequestsPerSite overrides the workload config's request count when
+	// positive.
+	RequestsPerSite int
+}
+
+// Paper returns the full Table-1 configuration: 10 sites, 15,000 objects,
+// 10,000 requests per site, 20 runs.
+func Paper() Options {
+	return Options{
+		Workload: workload.DefaultConfig(),
+		Net:      netsim.DefaultConfig(),
+		Perturb:  netsim.DefaultPerturbConfig(),
+		Runs:     20,
+		Seed:     2026,
+	}
+}
+
+// Quick returns a reduced configuration for tests and examples: the same
+// distributions at ~50× less volume and 3 runs.
+func Quick() Options {
+	return Options{
+		Workload: workload.SmallConfig(),
+		Net:      netsim.DefaultConfig(),
+		Perturb:  netsim.DefaultPerturbConfig(),
+		Runs:     3,
+		Seed:     2026,
+	}
+}
+
+// Validate rejects unusable options.
+func (o *Options) Validate() error {
+	if err := o.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := o.Net.Validate(); err != nil {
+		return err
+	}
+	if err := o.Perturb.Validate(); err != nil {
+		return err
+	}
+	if o.Runs <= 0 {
+		return fmt.Errorf("experiments: Runs must be positive, got %d", o.Runs)
+	}
+	if o.RequestsPerSite < 0 {
+		return fmt.Errorf("experiments: negative RequestsPerSite")
+	}
+	return nil
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o *Options) requests() int {
+	if o.RequestsPerSite > 0 {
+		return o.RequestsPerSite
+	}
+	return o.Workload.RequestsPerSite
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/model"
+	"repro/internal/policies"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// QueueingGrid is the capacity sweep of the queueing study.
+var QueueingGrid = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+// QueueingStudy isolates what the Eq. 8 processing constraint buys when
+// server occupancy is real: for each capacity level, the Eq. 8-aware plan
+// and a capacity-ignorant plan (computed as if capacity were unlimited)
+// are each simulated twice — with the fluid queue on and off — and the
+// *queueing overhead* (the on/off difference, as a percentage of the
+// unconstrained reference time) is reported. The aware plan keeps every
+// server's arrival rate at or below its drain rate, so its backlog stays
+// bounded; the ignorant plan overloads the servers it was told to ignore
+// and its backlog grows for the whole run. (Total response time is a
+// different question: at Table-1 transfer rates, shedding load to the
+// 0.3-2 KB/s repository can cost more than the queueing it avoids — an
+// honest trade-off the EXPERIMENTS.md notes record.)
+func QueueingStudy(opts Options) (*stats.Figure, error) {
+	col := newCollector()
+	err := forEachRun(&opts, func(r int, env *runEnv) error {
+		// The capacity-ignorant plan never changes with the sweep.
+		ignorantEnv, err := model.NewEnv(env.w, env.est, unconstrainedBudgets(env.w))
+		if err != nil {
+			return err
+		}
+		ignorantPlan, _, err := core.Plan(ignorantEnv, core.Options{Workers: 1})
+		if err != nil {
+			return err
+		}
+
+		overhead := func(w *workload.Workload, p *model.Placement, name string) (float64, error) {
+			cfg := env.simCfg
+			cfg.Queueing = false
+			off, err := simulateQueued(w, env, policies.NewStatic(name, p), cfg)
+			if err != nil {
+				return 0, err
+			}
+			cfg.Queueing = true
+			on, err := simulateQueued(w, env, policies.NewStatic(name, p), cfg)
+			if err != nil {
+				return 0, err
+			}
+			return (on - off) / env.baseRT * 100, nil
+		}
+
+		for _, frac := range QueueingGrid {
+			aware := model.FullBudgets(env.w).Scale(env.w, 1, frac)
+			aware.RepoCapacity = model.Infinite()
+			awareEnv, err := model.NewEnv(env.w, env.est, aware)
+			if err != nil {
+				return err
+			}
+			awarePlan, _, err := core.Plan(awareEnv, core.Options{Workers: 1})
+			if err != nil {
+				return err
+			}
+
+			// The simulator's queues drain at the workload's site
+			// capacities; hand it a copy scaled to this sweep point.
+			scaled := scaleSiteCapacities(env.w, frac)
+
+			awareOv, err := overhead(scaled, awarePlan, "aware")
+			if err != nil {
+				return err
+			}
+			ignorantOv, err := overhead(scaled, ignorantPlan, "ignorant")
+			if err != nil {
+				return err
+			}
+			col.add("Eq.8-aware plan", frac*100, awareOv)
+			col.add("Capacity-ignorant plan", frac*100, ignorantOv)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := col.figure("Queueing overhead: what the Eq. 8 constraint buys (fluid-queue mode)",
+		"site capacity %", []string{"Eq.8-aware plan", "Capacity-ignorant plan"})
+	fig.YLabel = "queueing delay as % of unconstrained response time"
+	return fig, nil
+}
+
+// scaleSiteCapacities returns a shallow workload copy whose site capacities
+// are scaled by frac. Pages and objects are shared (read-only).
+func scaleSiteCapacities(w *workload.Workload, frac float64) *workload.Workload {
+	out := *w
+	out.Sites = append([]workload.Site(nil), w.Sites...)
+	for i := range out.Sites {
+		out.Sites[i].Capacity = units.ReqPerSec(float64(w.Sites[i].Capacity) * frac)
+	}
+	return &out
+}
+
+// simulateQueued runs a policy on the scaled workload with the run's
+// traffic seed. The placement indexes pages by ID, which the scaled copy
+// shares with the original.
+func simulateQueued(w *workload.Workload, env *runEnv, dec httpsim.Decider, cfg httpsim.Config) (float64, error) {
+	res, err := httpsim.Run(w, env.est, dec, cfg, rng.New(env.simSeed))
+	if err != nil {
+		return 0, err
+	}
+	return res.CompositeMean(), nil
+}

@@ -1,0 +1,64 @@
+package htmlrefs
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func benchWorkload(b *testing.B) *workload.Workload {
+	b.Helper()
+	return workload.MustGenerate(workload.SmallConfig(), 55)
+}
+
+// BenchmarkParseRefs measures the HTML reference scanner on a realistic
+// page (the parse happens once per page creation/update in the paper's
+// system).
+func BenchmarkParseRefs(b *testing.B) {
+	w := benchWorkload(b)
+	doc := RenderPage(w, 0, "http://repo.example")
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if refs := ParseRefs(doc); len(refs) == 0 {
+			b.Fatal("no refs")
+		}
+	}
+}
+
+// BenchmarkServeRewrite measures the on-the-fly URL rewrite — the per-page
+// serving cost the paper argues is "minimal compared to the network
+// latency".
+func BenchmarkServeRewrite(b *testing.B) {
+	w := benchWorkload(b)
+	db, err := BuildRefDB(w, 0, model.AllLocal(w), "http://repo.example")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pid := w.Sites[0].Pages[0]
+	doc, _ := db.Serve(pid, "http://s0.example")
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Serve(pid, "http://s0.example"); !ok {
+			b.Fatal("page lost")
+		}
+	}
+}
+
+// BenchmarkBuildRefDB measures one site's database construction (page
+// creation time, not serving time).
+func BenchmarkBuildRefDB(b *testing.B) {
+	w := benchWorkload(b)
+	p := model.AllLocal(w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildRefDB(w, 0, p, "http://repo.example"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package htmlrefs implements the page-handling machinery of the paper's
+// Section 2: rendering synthetic HTML documents that embed a page's
+// multimedia objects, parsing documents to extract those references ("upon
+// creation or update of an HTML file ... the server parses the document and
+// retrieves the URLs of multimedia content"), the per-server reference
+// database that records which objects are to be downloaded locally, and the
+// on-the-fly URL rewriting a local server performs while serving the HTML
+// ("the local server queries the reference database and replaces on the fly
+// the remote URLs with the local ones").
+package htmlrefs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// MOPathPrefix is the URL path prefix under which multimedia objects are
+// served on both the repository and the local servers: /mo/<objectID>.
+const MOPathPrefix = "/mo/"
+
+// PagePathPrefix is the URL path prefix of pages on local servers:
+// /page/<pageID>.
+const PagePathPrefix = "/page/"
+
+// MOPath returns the URL path of object k.
+func MOPath(k workload.ObjectID) string {
+	return MOPathPrefix + strconv.Itoa(int(k))
+}
+
+// PagePath returns the URL path of page j.
+func PagePath(j workload.PageID) string {
+	return PagePathPrefix + strconv.Itoa(int(j))
+}
+
+// ParseMOPath extracts the object ID from a /mo/<id> path; ok is false for
+// anything else.
+func ParseMOPath(path string) (workload.ObjectID, bool) {
+	if !strings.HasPrefix(path, MOPathPrefix) {
+		return 0, false
+	}
+	id, err := strconv.Atoi(path[len(MOPathPrefix):])
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return workload.ObjectID(id), true
+}
+
+// ParsePagePath extracts the page ID from a /page/<id> path.
+func ParsePagePath(path string) (workload.PageID, bool) {
+	if !strings.HasPrefix(path, PagePathPrefix) {
+		return 0, false
+	}
+	id, err := strconv.Atoi(path[len(PagePathPrefix):])
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return workload.PageID(id), true
+}
+
+// RenderPage produces the stored form of page j's HTML document H_j: a
+// valid document embedding every compulsory object as an <img> and every
+// optional object as an <a href> link, with all MO URLs pointing at the
+// repository (repoBase, e.g. "http://repo.example.com") — the form pages
+// have *before* the serving-time rewrite. Filler prose pads the document to
+// approximately the page's HTMLSize.
+func RenderPage(w *workload.Workload, j workload.PageID, repoBase string) []byte {
+	pg := &w.Pages[j]
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html>\n<head><title>W%d</title></head>\n<body>\n", j)
+	fmt.Fprintf(&b, "<h1>Page W%d (site S%d)</h1>\n", j, pg.Site)
+	for _, k := range pg.Compulsory {
+		fmt.Fprintf(&b, "<img src=\"%s%s\" alt=\"M%d\">\n", repoBase, MOPath(k), k)
+	}
+	if len(pg.Optional) > 0 {
+		b.WriteString("<ul>\n")
+		for _, l := range pg.Optional {
+			fmt.Fprintf(&b, "<li><a href=\"%s%s\">optional M%d</a></li>\n", repoBase, MOPath(l.Object), l.Object)
+		}
+		b.WriteString("</ul>\n")
+	}
+	pad(&b, pg.HTMLSize)
+	b.WriteString("</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+// pad appends filler paragraphs until the document reaches target bytes
+// (skipped when the references alone already exceed it).
+func pad(b *strings.Builder, target units.ByteSize) {
+	const filler = "<p>Lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do eiusmod tempor incididunt ut labore et dolore magna aliqua.</p>\n"
+	for units.ByteSize(b.Len()) < target-units.ByteSize(len(filler)) {
+		b.WriteString(filler)
+	}
+}
+
+// Ref is one multimedia reference found in a document: the object, whether
+// it is an embedded (compulsory) image or an optional link, and the byte
+// range [Start, End) of the URL value inside the document.
+type Ref struct {
+	Object   workload.ObjectID
+	Optional bool
+	Start    int
+	End      int
+}
+
+// ParseRefs scans an HTML document for MO references. It is a small,
+// purpose-built scanner (stdlib only): it walks tags, finds src/href
+// attribute values whose path component matches /mo/<id>, and classifies
+// <img>/<embed>/<source> as compulsory and <a> as optional. Offsets index
+// into the original byte slice so rewrites can splice in place.
+func ParseRefs(doc []byte) []Ref {
+	var refs []Ref
+	i := 0
+	for i < len(doc) {
+		lt := indexByteFrom(doc, '<', i)
+		if lt < 0 {
+			break
+		}
+		gt := indexByteFrom(doc, '>', lt)
+		if gt < 0 {
+			break
+		}
+		tag := doc[lt+1 : gt]
+		name, attrs := splitTag(tag)
+		var wantAttr string
+		var optional bool
+		switch strings.ToLower(name) {
+		case "img", "embed", "source":
+			wantAttr = "src"
+		case "a":
+			wantAttr = "href"
+			optional = true
+		}
+		if wantAttr != "" {
+			if start, end, ok := findAttrValue(attrs, wantAttr); ok {
+				absStart := lt + 1 + len(name) + start
+				absEnd := lt + 1 + len(name) + end
+				url := string(doc[absStart:absEnd])
+				if k, ok := parseMOURL(url); ok {
+					refs = append(refs, Ref{Object: k, Optional: optional, Start: absStart, End: absEnd})
+				}
+			}
+		}
+		i = gt + 1
+	}
+	return refs
+}
+
+func indexByteFrom(b []byte, c byte, from int) int {
+	for i := from; i < len(b); i++ {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitTag separates a tag's name from its attribute section.
+func splitTag(tag []byte) (name string, attrs []byte) {
+	for i, c := range tag {
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			return string(tag[:i]), tag[i:]
+		}
+	}
+	return string(tag), nil
+}
+
+// findAttrValue locates attr="value" inside an attribute section and
+// returns the value's byte range relative to the section start.
+func findAttrValue(attrs []byte, attr string) (start, end int, ok bool) {
+	lower := strings.ToLower(string(attrs))
+	needle := attr + "=\""
+	pos := 0
+	for {
+		idx := strings.Index(lower[pos:], needle)
+		if idx < 0 {
+			return 0, 0, false
+		}
+		idx += pos
+		// Must be preceded by whitespace (not part of a longer name).
+		if idx > 0 {
+			prev := lower[idx-1]
+			if prev != ' ' && prev != '\t' && prev != '\n' && prev != '\r' {
+				pos = idx + 1
+				continue
+			}
+		}
+		valStart := idx + len(needle)
+		valEnd := strings.IndexByte(lower[valStart:], '"')
+		if valEnd < 0 {
+			return 0, 0, false
+		}
+		return valStart, valStart + valEnd, true
+	}
+}
+
+// parseMOURL extracts the object ID from an absolute or relative MO URL.
+func parseMOURL(url string) (workload.ObjectID, bool) {
+	idx := strings.Index(url, MOPathPrefix)
+	if idx < 0 {
+		return 0, false
+	}
+	// Nothing after the host part may precede the path except the scheme
+	// and host themselves; accept any prefix and require the remainder to
+	// be digits.
+	rest := url[idx+len(MOPathPrefix):]
+	if rest == "" {
+		return 0, false
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return workload.ObjectID(id), true
+}

@@ -1,0 +1,162 @@
+package htmlrefs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// PageEntry is the reference database's record for one page: the stored
+// document, its parsed references (sorted by position), and the per-
+// reference local/remote decision. The paper's Section 2 prescribes exactly
+// this: "the above information is included in a reference database together
+// with the position of the URLs in the HTML document".
+type PageEntry struct {
+	Doc   []byte
+	Refs  []Ref
+	Local []bool // parallel to Refs: serve from the local server?
+}
+
+// RefDB is one local server's reference database. It is built by parsing
+// each hosted page once (at "page creation/update" time) and updated when
+// the replication plan changes; lookups at serving time are read-only and
+// safe for concurrent use with updates guarded by an RWMutex (plans change
+// rarely, pages are served constantly).
+type RefDB struct {
+	mu      sync.RWMutex
+	site    workload.SiteID
+	entries map[workload.PageID]*PageEntry
+}
+
+// BuildRefDB parses every page hosted at site i (rendered against
+// repoBase) and applies the placement's decisions.
+func BuildRefDB(w *workload.Workload, i workload.SiteID, p *model.Placement, repoBase string) (*RefDB, error) {
+	db := &RefDB{site: i, entries: make(map[workload.PageID]*PageEntry, len(w.Sites[i].Pages))}
+	for _, pid := range w.Sites[i].Pages {
+		doc := RenderPage(w, pid, repoBase)
+		refs := ParseRefs(doc)
+		sort.Slice(refs, func(a, b int) bool { return refs[a].Start < refs[b].Start })
+		entry := &PageEntry{Doc: doc, Refs: refs, Local: make([]bool, len(refs))}
+		if err := validateRefs(w, pid, refs); err != nil {
+			return nil, err
+		}
+		db.entries[pid] = entry
+	}
+	if err := db.ApplyPlacement(w, p); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// validateRefs checks that parsing recovered exactly the page's references.
+func validateRefs(w *workload.Workload, pid workload.PageID, refs []Ref) error {
+	pg := &w.Pages[pid]
+	comp := map[workload.ObjectID]bool{}
+	opt := map[workload.ObjectID]bool{}
+	for _, r := range refs {
+		if r.Optional {
+			opt[r.Object] = true
+		} else {
+			comp[r.Object] = true
+		}
+	}
+	if len(comp) != len(pg.Compulsory) || len(opt) != len(pg.Optional) {
+		return fmt.Errorf("htmlrefs: page %d parsed %d/%d refs, workload has %d/%d",
+			pid, len(comp), len(opt), len(pg.Compulsory), len(pg.Optional))
+	}
+	for _, k := range pg.Compulsory {
+		if !comp[k] {
+			return fmt.Errorf("htmlrefs: page %d compulsory object %d not recovered", pid, k)
+		}
+	}
+	for _, l := range pg.Optional {
+		if !opt[l.Object] {
+			return fmt.Errorf("htmlrefs: page %d optional object %d not recovered", pid, l.Object)
+		}
+	}
+	return nil
+}
+
+// ApplyPlacement updates every page's local/remote decisions from a new
+// placement — the step that follows a replication-plan refresh.
+func (db *RefDB) ApplyPlacement(w *workload.Workload, p *model.Placement) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for pid, entry := range db.entries {
+		pg := &w.Pages[pid]
+		compIdx := make(map[workload.ObjectID]int, len(pg.Compulsory))
+		for idx, k := range pg.Compulsory {
+			compIdx[k] = idx
+		}
+		optIdx := make(map[workload.ObjectID]int, len(pg.Optional))
+		for idx, l := range pg.Optional {
+			optIdx[l.Object] = idx
+		}
+		for ri, r := range entry.Refs {
+			if r.Optional {
+				idx, ok := optIdx[r.Object]
+				if !ok {
+					return fmt.Errorf("htmlrefs: page %d references unknown optional object %d", pid, r.Object)
+				}
+				entry.Local[ri] = p.OptLocal(pid, idx)
+			} else {
+				idx, ok := compIdx[r.Object]
+				if !ok {
+					return fmt.Errorf("htmlrefs: page %d references unknown compulsory object %d", pid, r.Object)
+				}
+				entry.Local[ri] = p.CompLocal(pid, idx)
+			}
+		}
+	}
+	return nil
+}
+
+// Pages returns the number of pages in the database.
+func (db *RefDB) Pages() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Serve produces the document for page pid as sent to a client: stored
+// bytes with every locally-assigned reference rewritten from the repository
+// base URL to localBase — the paper's on-the-fly replacement. ok is false
+// for pages this server does not host.
+func (db *RefDB) Serve(pid workload.PageID, localBase string) ([]byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	entry, ok := db.entries[pid]
+	if !ok {
+		return nil, false
+	}
+	var out bytes.Buffer
+	out.Grow(len(entry.Doc) + 64)
+	prev := 0
+	for ri, r := range entry.Refs {
+		if !entry.Local[ri] {
+			continue
+		}
+		out.Write(entry.Doc[prev:r.Start])
+		out.WriteString(localBase)
+		out.WriteString(MOPath(r.Object))
+		prev = r.End
+	}
+	out.Write(entry.Doc[prev:])
+	return out.Bytes(), true
+}
+
+// Decisions returns a copy of the page's reference decisions (diagnostics
+// and tests).
+func (db *RefDB) Decisions(pid workload.PageID) ([]Ref, []bool, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	entry, ok := db.entries[pid]
+	if !ok {
+		return nil, nil, false
+	}
+	return append([]Ref(nil), entry.Refs...), append([]bool(nil), entry.Local...), true
+}

@@ -1,0 +1,366 @@
+// Package httpsim is the request-level simulator of the paper's Section 5:
+// it draws page requests per site (10,000 each under Table 1) from the
+// hot/cold popularity mixture, serves each page over two parallel persistent
+// connections — local server and repository — with per-request transfer
+// rates and overheads perturbed around the planner's estimates (the §5.1
+// model), draws the optional-object follow-up requests, and aggregates
+// response-time statistics. An optional fluid-queue mode adds server
+// occupancy delays, relaxing the paper's constant-processing-time
+// assumption (an extension, benchmarked as an ablation).
+package httpsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Decider is the policy under simulation: for each page view it says which
+// compulsory objects are served locally, and whether a requested optional
+// link is served locally. Implementations may mutate per-site state (the
+// LRU baseline does); the simulator guarantees calls for distinct sites
+// never run concurrently with each other only if the implementation is
+// site-partitioned — which all policies in internal/policies are.
+type Decider interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// CompLocal reports, for one view of page j, whether the idx-th
+	// compulsory object is downloaded from the local server.
+	CompLocal(j workload.PageID, idx int) bool
+	// OptLocal reports whether the idx-th optional link of page j — which
+	// the simulated user decided to request — is downloaded locally.
+	OptLocal(j workload.PageID, idx int) bool
+	// BeginPage is called once per page view before the Comp/Opt queries,
+	// letting stateful policies (LRU) update their structures.
+	BeginPage(j workload.PageID)
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// RequestsPerSite is the number of page requests drawn per site.
+	RequestsPerSite int
+	// Perturb is the §5.1 estimate-vs-actual deviation model.
+	Perturb netsim.PerturbConfig
+	// Queueing enables the fluid-queue server-occupancy extension.
+	Queueing bool
+	// Warmup runs the full request sequence once, unmeasured, before the
+	// measured pass — the "ideal" (warm) start for cache-based policies.
+	Warmup bool
+	// Workers bounds cross-site concurrency; 0 = sites, 1 = sequential.
+	Workers int
+	// RetainSamples keeps every page response time for percentile queries
+	// (costs memory proportional to the request count).
+	RetainSamples bool
+	// RemoteRedirectPenalty models redirection-based schemes (the paper's
+	// Section-6 comparison): when positive, every repository-served HTTP
+	// request pays it — the paper's complaint is precisely that "the other
+	// schemes need to redirect each HTTP GET request separately", while
+	// its own rewrite amortizes one computation over all of a page's
+	// objects. The paper's scheme and its ideal-LRU baseline use 0.
+	RemoteRedirectPenalty units.Seconds
+}
+
+// DefaultConfig returns the paper's simulation parameters for a workload.
+func DefaultConfig(w *workload.Workload) Config {
+	return Config{
+		RequestsPerSite: w.Config.RequestsPerSite,
+		Perturb:         netsim.DefaultPerturbConfig(),
+	}
+}
+
+// Result aggregates a run.
+type Result struct {
+	Policy string
+
+	// PageRT accumulates Eq. 5 response times, one per page view.
+	PageRT stats.Accumulator
+	// OptPerView accumulates the total optional-download seconds per page
+	// view (zero for views that requested nothing).
+	OptPerView stats.Accumulator
+	// OptRT accumulates individual optional download times.
+	OptRT stats.Accumulator
+	// SitePageRT breaks PageRT down per site.
+	SitePageRT []stats.Accumulator
+	// Samples holds every page response time when Config.RetainSamples.
+	Samples stats.Sample
+
+	// LocalRequests / RepoRequests count HTTP requests by server side.
+	LocalRequests, RepoRequests int64
+
+	alpha1, alpha2 float64
+}
+
+// newResult builds an empty result for a workload.
+func newResult(policy string, w *workload.Workload) *Result {
+	return &Result{
+		Policy:     policy,
+		SitePageRT: make([]stats.Accumulator, w.NumSites()),
+		alpha1:     w.Config.Alpha1,
+		alpha2:     w.Config.Alpha2,
+	}
+}
+
+// CompositeMean returns the headline response-time metric: the α-weighted
+// blend of the mean page retrieval time and the mean optional time per view
+// (DESIGN.md §3.9), matching the weights of the planner's objective.
+func (r *Result) CompositeMean() float64 {
+	den := r.alpha1 + r.alpha2
+	if den == 0 {
+		return r.PageRT.Mean()
+	}
+	return (r.alpha1*r.PageRT.Mean() + r.alpha2*r.OptPerView.Mean()) / den
+}
+
+// pagePicker draws pages of one site proportionally to f(W_j).
+type pagePicker struct {
+	pages []workload.PageID
+	cum   []float64 // cumulative frequency
+}
+
+func newPagePicker(w *workload.Workload, i workload.SiteID) (*pagePicker, error) {
+	pages := w.Sites[i].Pages
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("httpsim: site %d hosts no pages", i)
+	}
+	cum := make([]float64, len(pages))
+	total := 0.0
+	for idx, pid := range pages {
+		total += float64(w.Pages[pid].Freq)
+		cum[idx] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("httpsim: site %d has zero total frequency", i)
+	}
+	return &pagePicker{pages: pages, cum: cum}, nil
+}
+
+func (pp *pagePicker) draw(s *rng.Stream) workload.PageID {
+	u := s.Float64() * pp.cum[len(pp.cum)-1]
+	idx := sort.SearchFloat64s(pp.cum, u)
+	if idx >= len(pp.pages) {
+		idx = len(pp.pages) - 1
+	}
+	return pp.pages[idx]
+}
+
+// Run simulates the policy over the workload. The stream seeds everything:
+// two runs with equal (workload, estimates, config, stream seed) produce
+// identical request sequences and perturbations regardless of the policy,
+// so policies are compared on exactly the same traffic.
+func Run(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg Config, stream *rng.Stream) (*Result, error) {
+	if cfg.RequestsPerSite <= 0 {
+		return nil, fmt.Errorf("httpsim: RequestsPerSite must be positive, got %d", cfg.RequestsPerSite)
+	}
+	if err := cfg.Perturb.Validate(); err != nil {
+		return nil, err
+	}
+	if len(est.Sites) != w.NumSites() {
+		return nil, fmt.Errorf("httpsim: %d estimates for %d sites", len(est.Sites), w.NumSites())
+	}
+
+	res := &Result{
+		Policy:     dec.Name(),
+		SitePageRT: make([]stats.Accumulator, w.NumSites()),
+		alpha1:     w.Config.Alpha1,
+		alpha2:     w.Config.Alpha2,
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 || workers > w.NumSites() {
+		workers = w.NumSites()
+	}
+
+	type siteOut struct {
+		site    int
+		partial *Result
+		err     error
+	}
+	outs := make([]siteOut, w.NumSites())
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < w.NumSites(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			partial, err := runSite(w, est, dec, cfg, stream.Split(uint64(i)), workload.SiteID(i))
+			outs[i] = siteOut{site: i, partial: partial, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.PageRT.Merge(&o.partial.PageRT)
+		res.OptPerView.Merge(&o.partial.OptPerView)
+		res.OptRT.Merge(&o.partial.OptRT)
+		res.SitePageRT[o.site] = o.partial.SitePageRT[o.site]
+		res.LocalRequests += o.partial.LocalRequests
+		res.RepoRequests += o.partial.RepoRequests
+		if cfg.RetainSamples {
+			for _, v := range o.partial.Samples.Values() {
+				res.Samples.Add(v)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runSite simulates one site's request stream.
+func runSite(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg Config, stream *rng.Stream, i workload.SiteID) (*Result, error) {
+	picker, err := newPagePicker(w, i)
+	if err != nil {
+		return nil, err
+	}
+
+	partial := &Result{SitePageRT: make([]stats.Accumulator, w.NumSites()), alpha1: w.Config.Alpha1, alpha2: w.Config.Alpha2}
+
+	if cfg.Warmup {
+		warmCfg := cfg
+		warmCfg.Warmup = false
+		// Identical sequence (same sub-streams), metrics discarded.
+		if err := simulatePass(w, est, dec, warmCfg, stream, i, picker, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := simulatePass(w, est, dec, cfg, stream, i, picker, partial); err != nil {
+		return nil, err
+	}
+	return partial, nil
+}
+
+// simulatePass runs RequestsPerSite page views; when out is nil the pass is
+// a warmup (state advances, nothing recorded).
+func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg Config, stream *rng.Stream, i workload.SiteID, picker *pagePicker, out *Result) error {
+	pageStream := stream.Split(1)
+	perturbStream := stream.Split(2)
+	optStream := stream.Split(3)
+	arrivalStream := stream.Split(4)
+
+	perturber, err := netsim.NewPerturber(cfg.Perturb, est.Site(int(i)), perturbStream)
+	if err != nil {
+		return err
+	}
+
+	// Fluid queues for the occupancy extension; the repository queue is
+	// per-site here (each site's runner is independent), which models the
+	// repository as horizontally partitioned per region — the conservative
+	// reading for an "infinite capacity" repository, and documented as part
+	// of the extension.
+	var siteQ, repoQ *fluidQueue
+	var clock float64
+	var interArrival float64
+	if cfg.Queueing {
+		siteCap := float64(w.Sites[i].Capacity)
+		repoCap := float64(w.Config.RepoCapacity)
+		siteQ = newFluidQueue(siteCap)
+		repoQ = newFluidQueue(repoCap)
+		totalRate := 0.0
+		for _, pid := range w.Sites[i].Pages {
+			totalRate += float64(w.Pages[pid].Freq)
+		}
+		interArrival = 1 / totalRate
+	}
+
+	for n := 0; n < cfg.RequestsPerSite; n++ {
+		j := picker.draw(pageStream)
+		pg := &w.Pages[j]
+		dec.BeginPage(j)
+
+		// Per-request actual network attributes — always drawn in the same
+		// order so different policies see identical conditions.
+		localRate := perturber.LocalRate()
+		repoRate := perturber.RepoRate()
+		localOvhd := perturber.LocalOvhd()
+		repoOvhd := perturber.RepoOvhd()
+
+		var localBytes, remoteBytes units.ByteSize
+		localBytes = pg.HTMLSize
+		localReqs, repoReqs := int64(1), int64(0)
+		for idx, k := range pg.Compulsory {
+			if dec.CompLocal(j, idx) {
+				localBytes += w.ObjectSize(k)
+				localReqs++
+			} else {
+				remoteBytes += w.ObjectSize(k)
+				repoReqs++
+			}
+		}
+
+		localT := localOvhd + localRate.TransferTime(localBytes)
+		var remoteT units.Seconds
+		if repoReqs > 0 {
+			remoteT = repoOvhd + repoRate.TransferTime(remoteBytes) +
+				units.Seconds(float64(cfg.RemoteRedirectPenalty)*float64(repoReqs))
+		}
+
+		if cfg.Queueing {
+			clock += arrivalStream.Uniform(0, 2*interArrival) // mean 1/rate
+			localT += units.Seconds(siteQ.delay(clock, float64(localReqs)))
+			if repoReqs > 0 {
+				remoteT += units.Seconds(repoQ.delay(clock, float64(repoReqs)))
+			}
+		}
+
+		pageRT := float64(units.MaxSeconds(localT, remoteT))
+
+		// Optional follow-ups: the user requests optional objects with the
+		// page's interest probability, then picks the configured fraction
+		// of the links, uniformly, each over a fresh connection (Eq. 6).
+		optTotal := 0.0
+		if len(pg.Optional) > 0 && optStream.Bool(w.Config.OptionalInterestProb) {
+			want := int(float64(len(pg.Optional))*w.Config.OptionalRequestFrac + 0.5)
+			if want < 1 {
+				want = 1
+			}
+			for _, idx := range optStream.SampleWithoutReplacement(len(pg.Optional), want) {
+				size := w.ObjectSize(pg.Optional[idx].Object)
+				// Fresh per-download draws for both sides keep the stream
+				// consumption policy-independent.
+				lr, rr := perturber.LocalRate(), perturber.RepoRate()
+				lo, ro := perturber.LocalOvhd(), perturber.RepoOvhd()
+				var t units.Seconds
+				if dec.OptLocal(j, idx) {
+					t = lo + lr.TransferTime(size)
+					localReqs++
+				} else {
+					t = ro + rr.TransferTime(size) + cfg.RemoteRedirectPenalty
+					repoReqs++
+				}
+				if cfg.Queueing {
+					if dec.OptLocal(j, idx) {
+						t += units.Seconds(siteQ.delay(clock, 1))
+					} else {
+						t += units.Seconds(repoQ.delay(clock, 1))
+					}
+				}
+				optTotal += float64(t)
+				if out != nil {
+					out.OptRT.Add(float64(t))
+				}
+			}
+		}
+
+		if out != nil {
+			out.PageRT.Add(pageRT)
+			out.SitePageRT[i].Add(pageRT)
+			out.OptPerView.Add(optTotal)
+			out.LocalRequests += localReqs
+			out.RepoRequests += repoReqs
+			if cfg.RetainSamples {
+				out.Samples.Add(pageRT)
+			}
+		}
+	}
+	return nil
+}

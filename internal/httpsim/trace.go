@@ -1,0 +1,249 @@
+package httpsim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TraceEvent is one page view in a recorded request trace: the page, the
+// optional links the user requested (indices into the page's Optional
+// list), and the actual per-request network attributes drawn for it. A
+// trace pins *traffic and network conditions*; policies replayed over it
+// decide only the local/remote split.
+type TraceEvent struct {
+	Page      workload.PageID `json:"page"`
+	Optional  []int           `json:"optional,omitempty"`
+	LocalRate units.Rate      `json:"localRate"`
+	RepoRate  units.Rate      `json:"repoRate"`
+	LocalOvhd units.Seconds   `json:"localOvhd"`
+	RepoOvhd  units.Seconds   `json:"repoOvhd"`
+	// Per-optional-download draws, parallel to Optional (local and repo
+	// variants so the replay is policy-independent).
+	OptLocalRate []units.Rate    `json:"optLocalRate,omitempty"`
+	OptRepoRate  []units.Rate    `json:"optRepoRate,omitempty"`
+	OptLocalOvhd []units.Seconds `json:"optLocalOvhd,omitempty"`
+	OptRepoOvhd  []units.Seconds `json:"optRepoOvhd,omitempty"`
+}
+
+// Trace is a per-site recorded request sequence.
+type Trace struct {
+	NumSites int            `json:"numSites"`
+	NumPages int            `json:"numPages"`
+	Events   [][]TraceEvent `json:"events"` // indexed by site
+}
+
+// Record draws a trace for the workload using the same distributions the
+// live simulator uses: pages by popularity, optional requests by the
+// interest/fraction model, and per-request §5.1 perturbations around the
+// estimates. Replaying any policy over it with Replay yields exactly what
+// Run would have measured for that (workload, estimates, config, seed).
+func Record(w *workload.Workload, est *netsim.Estimates, cfg Config, stream *rng.Stream) (*Trace, error) {
+	if cfg.RequestsPerSite <= 0 {
+		return nil, fmt.Errorf("httpsim: RequestsPerSite must be positive, got %d", cfg.RequestsPerSite)
+	}
+	if err := cfg.Perturb.Validate(); err != nil {
+		return nil, err
+	}
+	if len(est.Sites) != w.NumSites() {
+		return nil, fmt.Errorf("httpsim: %d estimates for %d sites", len(est.Sites), w.NumSites())
+	}
+	tr := &Trace{
+		NumSites: w.NumSites(),
+		NumPages: w.NumPages(),
+		Events:   make([][]TraceEvent, w.NumSites()),
+	}
+	for i := 0; i < w.NumSites(); i++ {
+		site := workload.SiteID(i)
+		siteStream := stream.Split(uint64(i))
+		pageStream := siteStream.Split(1)
+		perturbStream := siteStream.Split(2)
+		optStream := siteStream.Split(3)
+
+		picker, err := newPagePicker(w, site)
+		if err != nil {
+			return nil, err
+		}
+		perturber, err := netsim.NewPerturber(cfg.Perturb, est.Site(i), perturbStream)
+		if err != nil {
+			return nil, err
+		}
+
+		events := make([]TraceEvent, 0, cfg.RequestsPerSite)
+		for n := 0; n < cfg.RequestsPerSite; n++ {
+			j := picker.draw(pageStream)
+			pg := &w.Pages[j]
+			ev := TraceEvent{
+				Page:      j,
+				LocalRate: perturber.LocalRate(),
+				RepoRate:  perturber.RepoRate(),
+				LocalOvhd: perturber.LocalOvhd(),
+				RepoOvhd:  perturber.RepoOvhd(),
+			}
+			if len(pg.Optional) > 0 && optStream.Bool(w.Config.OptionalInterestProb) {
+				want := int(float64(len(pg.Optional))*w.Config.OptionalRequestFrac + 0.5)
+				if want < 1 {
+					want = 1
+				}
+				ev.Optional = optStream.SampleWithoutReplacement(len(pg.Optional), want)
+				for range ev.Optional {
+					ev.OptLocalRate = append(ev.OptLocalRate, perturber.LocalRate())
+					ev.OptRepoRate = append(ev.OptRepoRate, perturber.RepoRate())
+					ev.OptLocalOvhd = append(ev.OptLocalOvhd, perturber.LocalOvhd())
+					ev.OptRepoOvhd = append(ev.OptRepoOvhd, perturber.RepoOvhd())
+				}
+			}
+			events = append(events, ev)
+		}
+		tr.Events[i] = events
+	}
+	return tr, nil
+}
+
+// Validate checks a trace against a workload.
+func (tr *Trace) Validate(w *workload.Workload) error {
+	if tr.NumSites != w.NumSites() || tr.NumPages != w.NumPages() {
+		return fmt.Errorf("httpsim: trace shaped (%d sites, %d pages) for workload (%d, %d)",
+			tr.NumSites, tr.NumPages, w.NumSites(), w.NumPages())
+	}
+	if len(tr.Events) != w.NumSites() {
+		return fmt.Errorf("httpsim: trace has %d event lists for %d sites", len(tr.Events), w.NumSites())
+	}
+	for i, events := range tr.Events {
+		for n, ev := range events {
+			if ev.Page < 0 || int(ev.Page) >= w.NumPages() {
+				return fmt.Errorf("httpsim: site %d event %d references page %d", i, n, ev.Page)
+			}
+			pg := &w.Pages[ev.Page]
+			if pg.Site != workload.SiteID(i) {
+				return fmt.Errorf("httpsim: site %d event %d requests page %d hosted elsewhere", i, n, ev.Page)
+			}
+			if len(ev.OptLocalRate) != len(ev.Optional) || len(ev.OptRepoRate) != len(ev.Optional) ||
+				len(ev.OptLocalOvhd) != len(ev.Optional) || len(ev.OptRepoOvhd) != len(ev.Optional) {
+				return fmt.Errorf("httpsim: site %d event %d has inconsistent optional draws", i, n)
+			}
+			for _, idx := range ev.Optional {
+				if idx < 0 || idx >= len(pg.Optional) {
+					return fmt.Errorf("httpsim: site %d event %d optional index %d out of range", i, n, idx)
+				}
+			}
+			if ev.LocalRate <= 0 || ev.RepoRate <= 0 {
+				return fmt.Errorf("httpsim: site %d event %d has non-positive rates", i, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Replay measures a policy over a recorded trace. Stateful policies see the
+// views in recorded order per site.
+func Replay(w *workload.Workload, tr *Trace, dec Decider) (*Result, error) {
+	if err := tr.Validate(w); err != nil {
+		return nil, err
+	}
+	out := newResult(dec.Name(), w)
+	for i, events := range tr.Events {
+		site := workload.SiteID(i)
+		for _, ev := range events {
+			j := ev.Page
+			pg := &w.Pages[j]
+			dec.BeginPage(j)
+
+			localBytes := pg.HTMLSize
+			var remoteBytes units.ByteSize
+			localReqs, repoReqs := int64(1), int64(0)
+			for idx, k := range pg.Compulsory {
+				if dec.CompLocal(j, idx) {
+					localBytes += w.ObjectSize(k)
+					localReqs++
+				} else {
+					remoteBytes += w.ObjectSize(k)
+					repoReqs++
+				}
+			}
+			localT := ev.LocalOvhd + ev.LocalRate.TransferTime(localBytes)
+			var remoteT units.Seconds
+			if repoReqs > 0 {
+				remoteT = ev.RepoOvhd + ev.RepoRate.TransferTime(remoteBytes)
+			}
+			pageRT := float64(units.MaxSeconds(localT, remoteT))
+
+			optTotal := 0.0
+			for oi, idx := range ev.Optional {
+				size := w.ObjectSize(pg.Optional[idx].Object)
+				var t units.Seconds
+				if dec.OptLocal(j, idx) {
+					t = ev.OptLocalOvhd[oi] + ev.OptLocalRate[oi].TransferTime(size)
+					localReqs++
+				} else {
+					t = ev.OptRepoOvhd[oi] + ev.OptRepoRate[oi].TransferTime(size)
+					repoReqs++
+				}
+				optTotal += float64(t)
+				out.OptRT.Add(float64(t))
+			}
+
+			out.PageRT.Add(pageRT)
+			out.SitePageRT[site].Add(pageRT)
+			out.OptPerView.Add(optTotal)
+			out.LocalRequests += localReqs
+			out.RepoRequests += repoReqs
+		}
+	}
+	return out, nil
+}
+
+// Encode writes the trace as JSON.
+func (tr *Trace) Encode(dst io.Writer) error {
+	if err := json.NewEncoder(dst).Encode(tr); err != nil {
+		return fmt.Errorf("httpsim: encode trace: %w", err)
+	}
+	return nil
+}
+
+// DecodeTrace reads and validates a trace for the workload.
+func DecodeTrace(w *workload.Workload, src io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(src).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("httpsim: decode trace: %w", err)
+	}
+	if err := tr.Validate(w); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// SaveFile writes the trace to path.
+func (tr *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("httpsim: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := tr.Encode(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("httpsim: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadTraceFile reads a trace for the workload from path.
+func LoadTraceFile(w *workload.Workload, path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("httpsim: %w", err)
+	}
+	defer f.Close()
+	return DecodeTrace(w, bufio.NewReader(f))
+}

@@ -1,0 +1,172 @@
+package httpsim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/policies"
+	"repro/internal/rng"
+)
+
+func TestRecordReplayMatchesRun(t *testing.T) {
+	// Replaying a recorded trace must reproduce Run's measurements exactly
+	// (same seeds, no queueing, no warmup).
+	w, est := simEnv(t, 81)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 150
+	cfg.Workers = 1
+
+	tr, err := Record(w, est, cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() Decider{
+		func() Decider { return policies.NewLocal(w) },
+		func() Decider { return policies.NewRemote(w) },
+	} {
+		live, err := Run(w, est, mk(), cfg, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := Replay(w, tr, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live.PageRT.N() != replayed.PageRT.N() {
+			t.Fatalf("%s: view counts %d vs %d", live.Policy, live.PageRT.N(), replayed.PageRT.N())
+		}
+		if math.Abs(live.PageRT.Mean()-replayed.PageRT.Mean()) > 1e-9 {
+			t.Errorf("%s: mean page RT live %v vs replay %v", live.Policy, live.PageRT.Mean(), replayed.PageRT.Mean())
+		}
+		if math.Abs(live.OptPerView.Mean()-replayed.OptPerView.Mean()) > 1e-9 {
+			t.Errorf("%s: optional means differ", live.Policy)
+		}
+		if live.LocalRequests != replayed.LocalRequests || live.RepoRequests != replayed.RepoRequests {
+			t.Errorf("%s: request counters differ", live.Policy)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	w, est := simEnv(t, 82)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 50
+	tr, err := Record(w, est, cfg, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(w, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Replay(w, tr, policies.NewLocal(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(w, got, policies.NewLocal(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PageRT.Mean() != b.PageRT.Mean() {
+		t.Error("decoded trace replays differently")
+	}
+}
+
+func TestTraceSaveLoadFile(t *testing.T) {
+	w, est := simEnv(t, 83)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 30
+	tr, err := Record(w, est, cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trace.json"
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTraceFile(w, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTraceFile(w, t.TempDir()+"/nope.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	w, est := simEnv(t, 84)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 20
+	tr, err := Record(w, est, cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *tr
+	bad.NumSites = 99
+	if err := bad.Validate(w); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+
+	tr2, _ := Record(w, est, cfg, rng.New(8))
+	tr2.Events[0][0].Page = -1
+	if err := tr2.Validate(w); err == nil {
+		t.Error("negative page accepted")
+	}
+
+	tr3, _ := Record(w, est, cfg, rng.New(8))
+	// Move a page to the wrong site's stream.
+	other := w.Sites[1].Pages[0]
+	tr3.Events[0][0].Page = other
+	if err := tr3.Validate(w); err == nil {
+		t.Error("cross-site page accepted")
+	}
+
+	tr4, _ := Record(w, est, cfg, rng.New(8))
+	tr4.Events[0][0].LocalRate = 0
+	if err := tr4.Validate(w); err == nil {
+		t.Error("zero rate accepted")
+	}
+
+	if _, err := DecodeTrace(w, strings.NewReader("{oops")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	w, est := simEnv(t, 85)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 0
+	if _, err := Record(w, est, cfg, rng.New(1)); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	w, est := simEnv(t, 86)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 40
+	a, err := Record(w, est, cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Record(w, est, cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := a.Encode(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("identical seeds produced different traces")
+	}
+}

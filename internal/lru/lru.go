@@ -1,0 +1,194 @@
+// Package lru implements a byte-capacity LRU cache over integer keys — the
+// substrate for the paper's "ideal LRU caching/redirection" baseline, which
+// caches multimedia objects at each local site and evicts by recency when
+// the storage budget is exceeded.
+package lru
+
+import "fmt"
+
+// node is a doubly-linked-list entry; the list is maintained in recency
+// order with the most recently used item at the head.
+type node struct {
+	key        int
+	size       int64
+	prev, next *node
+}
+
+// Cache is a byte-capacity LRU cache. The zero value is not usable; call
+// New. Not safe for concurrent use.
+type Cache struct {
+	capacity int64
+	used     int64
+	items    map[int]*node
+	head     *node // most recently used
+	tail     *node // least recently used
+
+	hits, misses int64
+	evictions    int64
+}
+
+// New returns a cache holding at most capacity bytes. Capacity zero is
+// legal (every Put evicts immediately and Contains is always false).
+func New(capacity int64) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("lru: negative capacity %d", capacity)
+	}
+	return &Cache{capacity: capacity, items: make(map[int]*node)}, nil
+}
+
+// Capacity returns the byte capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Bytes returns the bytes currently held.
+func (c *Cache) Bytes() int64 { return c.used }
+
+// Len returns the number of cached items.
+func (c *Cache) Len() int { return len(c.items) }
+
+// Hits and Misses return the Access counters; Evictions counts evicted
+// items.
+func (c *Cache) Hits() int64      { return c.hits }
+func (c *Cache) Misses() int64    { return c.misses }
+func (c *Cache) Evictions() int64 { return c.evictions }
+
+// detach removes n from the recency list.
+func (c *Cache) detach(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// pushFront inserts n at the head (most recently used).
+func (c *Cache) pushFront(n *node) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Contains reports whether key is cached without touching recency.
+func (c *Cache) Contains(key int) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Access records a use of key: on a hit the item moves to the front and
+// Access returns true; on a miss it returns false (the caller decides
+// whether to Put). Hit/miss counters update either way.
+func (c *Cache) Access(key int) bool {
+	n, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	c.detach(n)
+	c.pushFront(n)
+	return true
+}
+
+// Put inserts (or refreshes) key with the given size at the front, evicting
+// least-recently-used items until the cache fits. It returns the evicted
+// keys. An item larger than the whole capacity is not cached (it would
+// evict everything for nothing) and is reported as the single "evicted"
+// key. Sizes must be non-negative.
+func (c *Cache) Put(key int, size int64) (evicted []int) {
+	if size < 0 {
+		panic(fmt.Sprintf("lru: negative size %d for key %d", size, key))
+	}
+	if n, ok := c.items[key]; ok {
+		c.used += size - n.size
+		n.size = size
+		c.detach(n)
+		c.pushFront(n)
+	} else if size > c.capacity {
+		return []int{key}
+	} else {
+		n := &node{key: key, size: size}
+		c.items[key] = n
+		c.pushFront(n)
+		c.used += size
+	}
+	for c.used > c.capacity && c.tail != nil {
+		victim := c.tail
+		if victim.key == key {
+			// The refreshed item itself no longer fits; drop it.
+			c.remove(victim)
+			evicted = append(evicted, victim.key)
+			break
+		}
+		c.remove(victim)
+		evicted = append(evicted, victim.key)
+	}
+	c.evictions += int64(len(evicted))
+	return evicted
+}
+
+// remove detaches and deletes n.
+func (c *Cache) remove(n *node) {
+	c.detach(n)
+	delete(c.items, n.key)
+	c.used -= n.size
+}
+
+// Remove deletes key if present, reporting whether it was.
+func (c *Cache) Remove(key int) bool {
+	n, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.remove(n)
+	return true
+}
+
+// Keys returns the cached keys from most to least recently used.
+func (c *Cache) Keys() []int {
+	out := make([]int, 0, len(c.items))
+	for n := c.head; n != nil; n = n.next {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// checkInvariants verifies list/map/byte consistency (test helper).
+func (c *Cache) checkInvariants() error {
+	var bytes int64
+	count := 0
+	var prev *node
+	for n := c.head; n != nil; n = n.next {
+		if n.prev != prev {
+			return fmt.Errorf("lru: broken prev link at key %d", n.key)
+		}
+		if m, ok := c.items[n.key]; !ok || m != n {
+			return fmt.Errorf("lru: list node %d not in map", n.key)
+		}
+		bytes += n.size
+		count++
+		prev = n
+	}
+	if c.tail != prev {
+		return fmt.Errorf("lru: tail mismatch")
+	}
+	if count != len(c.items) {
+		return fmt.Errorf("lru: list has %d nodes, map has %d", count, len(c.items))
+	}
+	if bytes != c.used {
+		return fmt.Errorf("lru: bytes %d != used %d", bytes, c.used)
+	}
+	if c.used > c.capacity {
+		return fmt.Errorf("lru: used %d exceeds capacity %d", c.used, c.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// SiteDiff reports how one site's replica set changes between two
+// placements: what a re-plan would have to copy in from the repository and
+// what it deletes. The transfer bytes are the operational cost of applying
+// a plan refresh (the off-peak work the paper's Section 4.1 schedules).
+type SiteDiff struct {
+	Site           workload.SiteID
+	AddedObjects   int
+	AddedBytes     units.ByteSize
+	RemovedObjects int
+	RemovedBytes   units.ByteSize
+	// FlippedLocal / FlippedRemote count (page, object) download marks
+	// that changed direction (reference-database updates, no data moved).
+	FlippedLocal  int
+	FlippedRemote int
+}
+
+// DiffReport is the full placement delta.
+type DiffReport struct {
+	Sites []SiteDiff
+}
+
+// Diff computes what applying placement b after placement a costs. Both
+// must be over the same workload.
+func Diff(a, b *Placement) (*DiffReport, error) {
+	if a.w != b.w {
+		if a.w.NumPages() != b.w.NumPages() || a.w.NumSites() != b.w.NumSites() || a.w.NumObjects() != b.w.NumObjects() {
+			return nil, fmt.Errorf("model: placements over different workloads")
+		}
+	}
+	w := a.w
+	rep := &DiffReport{Sites: make([]SiteDiff, w.NumSites())}
+	for i := range w.Sites {
+		id := workload.SiteID(i)
+		d := &rep.Sites[i]
+		d.Site = id
+		added := b.stored[i].Clone()
+		added.DifferenceWith(a.stored[i])
+		added.ForEach(func(k int) bool {
+			d.AddedObjects++
+			d.AddedBytes += w.ObjectSize(workload.ObjectID(k))
+			return true
+		})
+		removed := a.stored[i].Clone()
+		removed.DifferenceWith(b.stored[i])
+		removed.ForEach(func(k int) bool {
+			d.RemovedObjects++
+			d.RemovedBytes += w.ObjectSize(workload.ObjectID(k))
+			return true
+		})
+		for _, pid := range w.Sites[i].Pages {
+			for idx := range w.Pages[pid].Compulsory {
+				av, bv := a.CompLocal(pid, idx), b.CompLocal(pid, idx)
+				if av != bv {
+					if bv {
+						d.FlippedLocal++
+					} else {
+						d.FlippedRemote++
+					}
+				}
+			}
+			for idx := range w.Pages[pid].Optional {
+				av, bv := a.OptLocal(pid, idx), b.OptLocal(pid, idx)
+				if av != bv {
+					if bv {
+						d.FlippedLocal++
+					} else {
+						d.FlippedRemote++
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// TotalAddedBytes returns the data the repository must push to the sites.
+func (r *DiffReport) TotalAddedBytes() units.ByteSize {
+	var t units.ByteSize
+	for _, d := range r.Sites {
+		t += d.AddedBytes
+	}
+	return t
+}
+
+// TotalRemovedBytes returns the replica bytes freed.
+func (r *DiffReport) TotalRemovedBytes() units.ByteSize {
+	var t units.ByteSize
+	for _, d := range r.Sites {
+		t += d.RemovedBytes
+	}
+	return t
+}
+
+// Write renders the report.
+func (r *DiffReport) Write(w io.Writer) error {
+	for _, d := range r.Sites {
+		if _, err := fmt.Fprintf(w, "site %2d: +%d replicas (%v), -%d replicas (%v), %d marks →local, %d →remote\n",
+			d.Site, d.AddedObjects, d.AddedBytes, d.RemovedObjects, d.RemovedBytes,
+			d.FlippedLocal, d.FlippedRemote); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total migration: %v in, %v freed\n", r.TotalAddedBytes(), r.TotalRemovedBytes())
+	return err
+}

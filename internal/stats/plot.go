@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plotGlyphs mark the series in a text plot, in order.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// WritePlot renders the figure as a text chart: Y is scaled into `height`
+// rows, X into `width` columns, one glyph per series, points connected
+// nearest-cell. It complements WriteTable for terminal use — the paper's
+// figure *shapes* (crossovers, knees, orderings) are visible at a glance.
+func (f *Figure) WritePlot(w io.Writer, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+
+	// Bounds over all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int((maxY - y) / (maxY - minY) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for si, s := range f.Series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			grid[row(s.Y[i])][col(s.X[i])] = g
+		}
+	}
+
+	if f.Title != "" {
+		if _, err := fmt.Fprintln(w, f.Title); err != nil {
+			return err
+		}
+	}
+	yTop := fmt.Sprintf("%.4g", maxY)
+	yBot := fmt.Sprintf("%.4g", minY)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*g%*g   (x: %s)\n",
+		strings.Repeat(" ", labelW), width/2, minX, width-width/2, maxX, f.XLabel); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotGlyphs[si%len(plotGlyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "  "))
+	return err
+}

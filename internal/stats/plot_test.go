@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWritePlotBasic(t *testing.T) {
+	f := &Figure{Title: "T", XLabel: "x"}
+	a := f.AddSeries("up")
+	b := f.AddSeries("down")
+	for i := 0; i <= 10; i++ {
+		a.Add(float64(i), float64(i), 0)
+		b.Add(float64(i), float64(10-i), 0)
+	}
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T", "*=up", "o=down", "(x: x)", "10", "0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + x labels + legend
+	if len(lines) != 1+10+1+1+1 {
+		t.Errorf("plot has %d lines:\n%s", len(lines), out)
+	}
+	// The increasing series ends top-right: the top row's glyph sits in
+	// the right half.
+	top := lines[1]
+	if !strings.Contains(top, "*") || strings.Index(top, "*") < len(top)/2 {
+		t.Errorf("increasing series not at top-right:\n%s", out)
+	}
+}
+
+func TestWritePlotEmptyAndDegenerate(t *testing.T) {
+	f := &Figure{}
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty figure should say so")
+	}
+
+	// A single point and NaN entries must not panic.
+	g := &Figure{}
+	s := g.AddSeries("p")
+	s.Add(5, 7, 0)
+	s.Add(6, math.NaN(), 0)
+	sb.Reset()
+	if err := g.WritePlot(&sb, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestWritePlotClampsTinyDimensions(t *testing.T) {
+	f := &Figure{}
+	s := f.AddSeries("s")
+	s.Add(0, 1, 0)
+	s.Add(1, 2, 0)
+	var sb strings.Builder
+	if err := f.WritePlot(&sb, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) == 0 {
+		t.Error("no output at clamped dimensions")
+	}
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one named line of an experiment figure: parallel X (sweep
+// parameter) and Y (metric) slices, plus optional per-point error bars.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Err  []float64 // optional; same length as Y when present
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y, err float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.Err = append(s.Err, err)
+}
+
+// Figure is a set of series over a common sweep — the in-memory form of one
+// paper figure, renderable as an aligned text table or CSV.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// AddSeries appends and returns a new named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// xs returns the union of all X values in first-seen order. Experiment
+// sweeps share the X grid, so in practice this is just the grid.
+func (f *Figure) xs() []float64 {
+	var out []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+// lookup returns the y (and error) of series s at x.
+func lookup(s *Series, x float64) (y, e float64, ok bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			e := 0.0
+			if i < len(s.Err) {
+				e = s.Err[i]
+			}
+			return s.Y[i], e, true
+		}
+	}
+	return 0, 0, false
+}
+
+// WriteTable renders the figure as an aligned text table, one row per X
+// value, one column pair (value ± err) per series.
+func (f *Figure) WriteTable(w io.Writer) error {
+	xs := f.xs()
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			if y, e, ok := lookup(s, x); ok {
+				if e > 0 {
+					row = append(row, fmt.Sprintf("%.2f ±%.2f", y, e))
+				} else {
+					row = append(row, fmt.Sprintf("%.2f", y))
+				}
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if f.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s  (y: %s)\n", f.Title, f.YLabel); err != nil {
+			return err
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+		if ri == 0 {
+			total := 0
+			for _, wd := range widths {
+				total += wd + 2
+			}
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the figure as CSV: x, then per-series value and error
+// columns.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cols := []string{csvEscape(f.XLabel)}
+	for _, s := range f.Series {
+		cols = append(cols, csvEscape(s.Name), csvEscape(s.Name+"_err"))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range f.xs() {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			if y, e, ok := lookup(s, x); ok {
+				row = append(row, fmt.Sprintf("%g", y), fmt.Sprintf("%g", e))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteMarkdown renders the figure as a GitHub-flavored Markdown table:
+// one row per X value, one column per series (value ±err when an error bar
+// is present), headed by the figure title as an H3 and the Y label as a
+// caption line.
+func (f *Figure) WriteMarkdown(w io.Writer) error {
+	if f.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", f.Title); err != nil {
+			return err
+		}
+	}
+	if f.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "*y: %s*\n\n", f.YLabel); err != nil {
+			return err
+		}
+	}
+	cols := []string{mdEscape(f.XLabel)}
+	for _, s := range f.Series {
+		cols = append(cols, mdEscape(s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cols, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(cols))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, x := range f.xs() {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			if y, e, ok := lookup(s, x); ok {
+				if e > 0 {
+					row = append(row, fmt.Sprintf("%.2f ±%.2f", y, e))
+				} else {
+					row = append(row, fmt.Sprintf("%.2f", y))
+				}
+			} else {
+				row = append(row, "–")
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildFigure() *Figure {
+	f := &Figure{Title: "Figure 1", XLabel: "storage %", YLabel: "% increase"}
+	a := f.AddSeries("ours")
+	a.Add(20, 15.0, 1.0)
+	a.Add(100, 0.0, 0.0)
+	b := f.AddSeries("lru")
+	b.Add(20, 18.0, 2.0)
+	b.Add(100, 24.0, 1.5)
+	return f
+}
+
+func TestWriteTable(t *testing.T) {
+	f := buildFigure()
+	var sb strings.Builder
+	if err := f.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 1", "storage %", "ours", "lru", "15.00 ±1.00", "24.00 ±1.50", "0.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 data rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteTableMissingPoint(t *testing.T) {
+	f := &Figure{XLabel: "x"}
+	a := f.AddSeries("a")
+	a.Add(1, 10, 0)
+	b := f.AddSeries("b")
+	b.Add(2, 20, 0)
+	var sb strings.Builder
+	if err := f.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-") {
+		t.Errorf("missing points should render as '-':\n%s", sb.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f := buildFigure()
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	if lines[0] != "storage %,ours,ours_err,lru,lru_err" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "20,15,1,18,2") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"with,comma": `"with,comma"`,
+		`q"uote`:     `"q""uote"`,
+		"new\nline":  "\"new\nline\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	f := buildFigure()
+	var sb strings.Builder
+	if err := f.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### Figure 1", "| storage % | ours | lru |", "| --- | --- | --- |", "| 20 | 15.00 ±1.00 | 18.00 ±2.00 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	f := &Figure{XLabel: "a|b"}
+	s := f.AddSeries("x|y")
+	s.Add(1, 2, 0)
+	var sb strings.Builder
+	if err := f.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `a\|b`) || !strings.Contains(sb.String(), `x\|y`) {
+		t.Errorf("pipes not escaped:\n%s", sb.String())
+	}
+}

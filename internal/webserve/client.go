@@ -1,0 +1,175 @@
+package webserve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/htmlrefs"
+	"repro/internal/workload"
+)
+
+// PageResult reports one client page download.
+type PageResult struct {
+	Page         workload.PageID
+	Elapsed      time.Duration
+	HTMLBytes    int64
+	LocalChain   ChainResult // objects fetched from the local server
+	RemoteChain  ChainResult // objects fetched from the repository
+	OptionalRefs []htmlrefs.Ref
+}
+
+// ChainResult summarizes one parallel download chain.
+type ChainResult struct {
+	Objects int
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// Client downloads pages the way the paper's browser model does: the HTML
+// first, then the embedded (compulsory) objects split by host into two
+// chains fetched concurrently — one persistent connection per host, objects
+// pipelined sequentially on each — with the page time being the max of the
+// chains. Optional links are returned, not fetched (the user may request
+// them separately via FetchObject).
+type Client struct {
+	w    *workload.Workload
+	http *http.Client
+	// Verify makes the client check every object's synthetic content.
+	Verify bool
+}
+
+// NewClient builds a client for the workload.
+func NewClient(w *workload.Workload) *Client {
+	return &Client{
+		w: w,
+		http: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 4,
+			},
+		},
+	}
+}
+
+// get fetches a URL fully.
+func (c *Client) get(url string) ([]byte, error) {
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webserve: GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// hostOf extracts scheme://host of a URL (everything before the path).
+func hostOf(url string) string {
+	idx := strings.Index(url, "://")
+	if idx < 0 {
+		return ""
+	}
+	rest := url[idx+3:]
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return url
+	}
+	return url[:idx+3+slash]
+}
+
+// FetchPage downloads page j from pageURL: the HTML, then every embedded
+// object grouped by host and fetched in per-host chains concurrently.
+func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, error) {
+	start := time.Now()
+	doc, err := c.get(pageURL)
+	if err != nil {
+		return nil, err
+	}
+	res := &PageResult{Page: j, HTMLBytes: int64(len(doc))}
+
+	refs := htmlrefs.ParseRefs(doc)
+	chains := map[string][]htmlrefs.Ref{}
+	for _, r := range refs {
+		if r.Optional {
+			// Remember where the link points for FetchObject callers.
+			res.OptionalRefs = append(res.OptionalRefs, r)
+			continue
+		}
+		url := string(doc[r.Start:r.End])
+		chains[hostOf(url)] = append(chains[hostOf(url)], r)
+	}
+
+	pageHost := hostOf(pageURL)
+	type chainOut struct {
+		host string
+		res  ChainResult
+		err  error
+	}
+	hosts := make([]string, 0, len(chains))
+	for h := range chains {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	outs := make([]chainOut, len(hosts))
+	var wg sync.WaitGroup
+	for hi, host := range hosts {
+		wg.Add(1)
+		go func(hi int, host string) {
+			defer wg.Done()
+			cs := time.Now()
+			var cr ChainResult
+			for _, r := range chains[host] {
+				data, err := c.get(host + htmlrefs.MOPath(r.Object))
+				if err != nil {
+					outs[hi] = chainOut{host: host, err: err}
+					return
+				}
+				if c.Verify {
+					if err := VerifyObject(c.w, r.Object, data); err != nil {
+						outs[hi] = chainOut{host: host, err: err}
+						return
+					}
+				}
+				cr.Objects++
+				cr.Bytes += int64(len(data))
+			}
+			cr.Elapsed = time.Since(cs)
+			outs[hi] = chainOut{host: host, res: cr}
+		}(hi, host)
+	}
+	wg.Wait()
+
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.host == pageHost {
+			res.LocalChain = o.res
+		} else {
+			res.RemoteChain.Objects += o.res.Objects
+			res.RemoteChain.Bytes += o.res.Bytes
+			if o.res.Elapsed > res.RemoteChain.Elapsed {
+				res.RemoteChain.Elapsed = o.res.Elapsed
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// FetchObject downloads one optional object as the document doc links it.
+func (c *Client) FetchObject(doc []byte, r htmlrefs.Ref) ([]byte, error) {
+	return c.get(string(doc[r.Start:r.End]))
+}
+
+// GetDoc fetches a URL and returns the raw body — the served HTML as a
+// browser would receive it.
+func (c *Client) GetDoc(url string) ([]byte, error) {
+	return c.get(url)
+}

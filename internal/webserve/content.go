@@ -1,0 +1,91 @@
+// Package webserve implements the paper's Section-2 system over net/http:
+// a repository server and local site servers that serve real HTML and
+// multimedia bytes, with the local servers rewriting MO URLs on the fly
+// from their reference databases, plus a client that downloads a page the
+// way the paper's browser does — the local chain and the repository chain
+// in parallel over persistent connections. It exists to demonstrate (and
+// integration-test) that the planner's placements drive a working serving
+// system, not only the simulator.
+package webserve
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// contentBlock is the repeating unit of an object's synthetic payload.
+const contentBlockSize = 4096
+
+// objectBlock builds the deterministic 4 KiB block for object k: a header
+// naming the object followed by a k-seeded byte pattern, so clients can
+// verify they received the object they asked for without the server storing
+// anything.
+func objectBlock(k workload.ObjectID) []byte {
+	b := make([]byte, contentBlockSize)
+	header := fmt.Sprintf("MO:%d\n", k)
+	copy(b, header)
+	x := uint32(k)*2654435761 + 12345
+	for i := len(header); i < len(b); i++ {
+		x = x*1664525 + 1013904223
+		b[i] = byte(x >> 24)
+	}
+	return b
+}
+
+// ObjectReader streams the synthetic content of object k at its workload
+// size. The reader is cheap: one shared block repeated, truncated at the
+// end.
+func ObjectReader(w *workload.Workload, k workload.ObjectID) io.Reader {
+	return &blockReader{block: objectBlock(k), remaining: int64(w.ObjectSize(k))}
+}
+
+type blockReader struct {
+	block     []byte
+	remaining int64
+	offset    int
+}
+
+func (r *blockReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && r.remaining > 0 {
+		chunk := r.block[r.offset:]
+		want := len(p) - n
+		if want > len(chunk) {
+			want = len(chunk)
+		}
+		if int64(want) > r.remaining {
+			want = int(r.remaining)
+		}
+		copy(p[n:], chunk[:want])
+		n += want
+		r.remaining -= int64(want)
+		r.offset = (r.offset + want) % len(r.block)
+	}
+	return n, nil
+}
+
+// VerifyObject checks that data is exactly object k's synthetic content.
+func VerifyObject(w *workload.Workload, k workload.ObjectID, data []byte) error {
+	if got, want := units.ByteSize(len(data)), w.ObjectSize(k); got != want {
+		return fmt.Errorf("webserve: object %d has %d bytes, want %d", k, got, want)
+	}
+	block := objectBlock(k)
+	for i := 0; i < len(data); i += len(block) {
+		end := i + len(block)
+		if end > len(data) {
+			end = len(data)
+		}
+		for off := i; off < end; off++ {
+			if data[off] != block[off-i] {
+				return fmt.Errorf("webserve: object %d corrupt at byte %d", k, off)
+			}
+		}
+	}
+	return nil
+}

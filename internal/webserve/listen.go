@@ -1,0 +1,20 @@
+package webserve
+
+import (
+	"fmt"
+	"net"
+)
+
+// listenLoopback opens an ephemeral-port TCP listener on 127.0.0.1,
+// falling back to [::1] on IPv4-less hosts.
+func listenLoopback() (net.Listener, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err == nil {
+		return ln, nil
+	}
+	ln6, err6 := net.Listen("tcp", "[::1]:0")
+	if err6 == nil {
+		return ln6, nil
+	}
+	return nil, fmt.Errorf("webserve: cannot listen on loopback: %v / %v", err, err6)
+}

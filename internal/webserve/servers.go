@@ -1,0 +1,230 @@
+package webserve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/htmlrefs"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Repository is the central multimedia repository's HTTP handler: it serves
+// every object at /mo/<id> and counts requests.
+type Repository struct {
+	w        *workload.Workload
+	requests atomic.Int64
+}
+
+// NewRepository builds the repository handler.
+func NewRepository(w *workload.Workload) *Repository {
+	return &Repository{w: w}
+}
+
+// Requests returns the number of MO requests served.
+func (r *Repository) Requests() int64 { return r.requests.Load() }
+
+// ServeHTTP implements http.Handler.
+func (r *Repository) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	k, ok := htmlrefs.ParseMOPath(req.URL.Path)
+	if !ok || int(k) >= r.w.NumObjects() {
+		http.NotFound(rw, req)
+		return
+	}
+	r.requests.Add(1)
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.FormatInt(int64(r.w.ObjectSize(k)), 10))
+	io.Copy(rw, ObjectReader(r.w, k))
+}
+
+// LocalServer is one site's HTTP handler: it serves its hosted pages at
+// /page/<id> — rewriting MO URLs on the fly per its reference database —
+// and its replicated objects at /mo/<id>. Objects it does not store are
+// 404s: the placement is authoritative, exactly as a misrouted client would
+// experience in the paper's system. Page accesses are counted per page to
+// feed frequency estimation (Section 2's "statistics collected").
+type LocalServer struct {
+	w    *workload.Workload
+	site workload.SiteID
+	db   *htmlrefs.RefDB
+
+	mu        sync.RWMutex
+	placement *model.Placement
+	base      string // this server's external base URL, set once serving
+
+	pageHits  sync.Map // workload.PageID -> *atomic.Int64
+	moHits    atomic.Int64
+	pageCount atomic.Int64
+}
+
+// NewLocalServer builds the site's handler from a placement. repoBase is
+// the repository's external base URL used in stored documents.
+func NewLocalServer(w *workload.Workload, site workload.SiteID, p *model.Placement, repoBase string) (*LocalServer, error) {
+	db, err := htmlrefs.BuildRefDB(w, site, p, repoBase)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalServer{w: w, site: site, db: db, placement: p}, nil
+}
+
+// SetBase records the server's external base URL (e.g. http://127.0.0.1:
+// 8081) used when rewriting local references. Must be called before
+// serving.
+func (s *LocalServer) SetBase(base string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.base = base
+}
+
+// Base returns the configured base URL.
+func (s *LocalServer) Base() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base
+}
+
+// ApplyPlacement swaps in a new placement (a plan refresh): the reference
+// database and the replica set update atomically with respect to readers.
+func (s *LocalServer) ApplyPlacement(p *model.Placement) error {
+	if err := s.db.ApplyPlacement(s.w, p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.placement = p
+	s.mu.Unlock()
+	return nil
+}
+
+// Site returns the server's site ID.
+func (s *LocalServer) Site() workload.SiteID { return s.site }
+
+// PageRequests returns the total page requests served.
+func (s *LocalServer) PageRequests() int64 { return s.pageCount.Load() }
+
+// MORequests returns the MO requests served locally.
+func (s *LocalServer) MORequests() int64 { return s.moHits.Load() }
+
+// AccessCounts snapshots the per-page access counters.
+func (s *LocalServer) AccessCounts() map[workload.PageID]int64 {
+	out := make(map[workload.PageID]int64)
+	s.pageHits.Range(func(key, value interface{}) bool {
+		out[key.(workload.PageID)] = value.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+func (s *LocalServer) countPage(j workload.PageID) {
+	s.pageCount.Add(1)
+	v, _ := s.pageHits.LoadOrStore(j, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	if j, ok := htmlrefs.ParsePagePath(req.URL.Path); ok {
+		doc, ok := s.db.Serve(j, s.Base())
+		if !ok {
+			http.NotFound(rw, req)
+			return
+		}
+		s.countPage(j)
+		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+		rw.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+		rw.Write(doc)
+		return
+	}
+	if k, ok := htmlrefs.ParseMOPath(req.URL.Path); ok {
+		s.mu.RLock()
+		stored := s.placement.IsStored(s.site, k)
+		s.mu.RUnlock()
+		if !stored {
+			http.NotFound(rw, req)
+			return
+		}
+		s.moHits.Add(1)
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.Header().Set("Content-Length", strconv.FormatInt(int64(s.w.ObjectSize(k)), 10))
+		io.Copy(rw, ObjectReader(s.w, k))
+		return
+	}
+	http.NotFound(rw, req)
+}
+
+// Cluster is a running deployment: the repository plus one HTTP server per
+// site, all on loopback listeners.
+type Cluster struct {
+	W          *workload.Workload
+	Repo       *Repository
+	RepoBase   string
+	Sites      []*LocalServer
+	SiteBases  []string
+	httpServer []*http.Server
+	closers    []func() error
+}
+
+// StartCluster listens on ephemeral loopback ports for the repository and
+// every site, serving under the given placement. Call Close when done.
+func StartCluster(w *workload.Workload, p *model.Placement) (*Cluster, error) {
+	c := &Cluster{W: w}
+
+	repo := NewRepository(w)
+	repoBase, stop, err := serve(repo)
+	if err != nil {
+		return nil, err
+	}
+	c.Repo = repo
+	c.RepoBase = repoBase
+	c.closers = append(c.closers, stop)
+
+	for i := 0; i < w.NumSites(); i++ {
+		ls, err := NewLocalServer(w, workload.SiteID(i), p, repoBase)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		base, stop, err := serve(ls)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		ls.SetBase(base)
+		c.Sites = append(c.Sites, ls)
+		c.SiteBases = append(c.SiteBases, base)
+		c.closers = append(c.closers, stop)
+	}
+	return c, nil
+}
+
+// serve starts an http.Server on an ephemeral loopback port and returns its
+// base URL and a stopper.
+func serve(h http.Handler) (base string, stop func() error, err error) {
+	ln, err := listenLoopback()
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return fmt.Sprintf("http://%s", ln.Addr().String()), srv.Close, nil
+}
+
+// Close shuts every server down.
+func (c *Cluster) Close() error {
+	var first error
+	for _, stop := range c.closers {
+		if err := stop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PageURL returns the URL of page j on its hosting site.
+func (c *Cluster) PageURL(j workload.PageID) string {
+	site := c.W.Pages[j].Site
+	return c.SiteBases[site] + htmlrefs.PagePath(j)
+}

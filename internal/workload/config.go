@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// SizeClass mirrors rng.SizeClass for configuration with byte sizes.
+type SizeClass struct {
+	Frac float64        `json:"frac"`
+	Lo   units.ByteSize `json:"lo"`
+	Hi   units.ByteSize `json:"hi"`
+}
+
+// PopularityModel selects how page request frequencies are distributed.
+type PopularityModel string
+
+// Popularity models.
+const (
+	// PopularityHotCold is the paper's Table-1 skew: HotPageFrac of the
+	// pages draw HotTrafficShare of the traffic, uniform within class.
+	// The zero value selects it.
+	PopularityHotCold PopularityModel = "hotcold"
+	// PopularityZipf draws frequencies ∝ 1/rank^ZipfS — the standard
+	// heavy-tailed model of the web-characterization literature, provided
+	// as a robustness alternative (the paper's findings should not hinge
+	// on the two-class shape).
+	PopularityZipf PopularityModel = "zipf"
+)
+
+// Config holds every Table-1 workload parameter. DefaultConfig reproduces
+// the paper's values; tests and examples shrink them via Scaled.
+type Config struct {
+	Sites int `json:"sites"` // number of local sites (10)
+
+	PagesPerSiteMin int `json:"pagesPerSiteMin"` // 400
+	PagesPerSiteMax int `json:"pagesPerSiteMax"` // 800
+
+	// Popularity selects the frequency distribution; empty = hotcold.
+	Popularity PopularityModel `json:"popularity,omitempty"`
+	// ZipfS is the Zipf exponent when Popularity == PopularityZipf (≈0.8
+	// in classic web traces).
+	ZipfS float64 `json:"zipfS,omitempty"`
+
+	// MirrorHotPages replicates each hot page onto this many additional
+	// sites. Section 3: "if multiple copies of it exist we treat each copy
+	// as a different page" — copies are distinct Page entries on distinct
+	// sites referencing the same objects, with the page's traffic split
+	// evenly among the copies. 0 (the paper's evaluation) disables it.
+	MirrorHotPages int `json:"mirrorHotPages,omitempty"`
+
+	HotPageFrac     float64 `json:"hotPageFrac"`     // 0.10
+	HotTrafficShare float64 `json:"hotTrafficShare"` // 0.60
+
+	CompulsoryMin int `json:"compulsoryMin"` // 5
+	CompulsoryMax int `json:"compulsoryMax"` // 45
+
+	OptionalPageFrac float64 `json:"optionalPageFrac"` // 0.10 of pages carry optional MOs
+	OptionalMin      int     `json:"optionalMin"`      // 10
+	OptionalMax      int     `json:"optionalMax"`      // 85
+
+	GlobalObjects  int `json:"globalObjects"`  // 15,000
+	ObjectsPerSite int `json:"objectsPerSite"` // lower bound, 1,500
+	ObjectsPerMax  int `json:"objectsPerMax"`  // upper bound, 4,500
+
+	HTMLClasses []SizeClass `json:"htmlClasses"` // 35 % 1-6K, 60 % 6-20K, 5 % 20-50K
+	MOClasses   []SizeClass `json:"moClasses"`   // 30 % 40-300K, 60 % 300-800K, 10 % 800K-4M
+
+	// OptionalInterestProb is the probability a user who downloaded a page
+	// requests one or more of its optional MOs (0.10); OptionalRequestFrac
+	// is the fraction of the page's optional links such a user requests
+	// (0.30). The per-link probability U'_jk is their product.
+	OptionalInterestProb float64 `json:"optionalInterestProb"`
+	OptionalRequestFrac  float64 `json:"optionalRequestFrac"`
+
+	SiteCapacity units.ReqPerSec `json:"siteCapacity"` // C(S_i) = 150 req/s
+	RepoCapacity units.ReqPerSec `json:"repoCapacity"` // C(R); 0 = infinite
+
+	// PageRatePerSite is the aggregate peak-hour page-request rate each site
+	// receives, split across its pages by the hot/cold mixture. The paper
+	// does not state it; 5 pages/s makes the all-local plan consume ≈ 85-90 %
+	// of the 150 req/s capacity, which matches the Figure-2 narrative
+	// (assumption documented in DESIGN.md §3.4).
+	PageRatePerSite units.ReqPerSec `json:"pageRatePerSite"`
+
+	RequestsPerSite int `json:"requestsPerSite"` // 10,000
+
+	Alpha1 float64 `json:"alpha1"` // weight of D1 (page retrieval), 2
+	Alpha2 float64 `json:"alpha2"` // weight of D2 (optional downloads), 1
+}
+
+// DefaultConfig returns the exact Table-1 parameters.
+func DefaultConfig() Config {
+	return Config{
+		Sites:           10,
+		PagesPerSiteMin: 400,
+		PagesPerSiteMax: 800,
+		HotPageFrac:     0.10,
+		HotTrafficShare: 0.60,
+		CompulsoryMin:   5,
+		CompulsoryMax:   45,
+
+		OptionalPageFrac: 0.10,
+		OptionalMin:      10,
+		OptionalMax:      85,
+
+		GlobalObjects:  15000,
+		ObjectsPerSite: 1500,
+		ObjectsPerMax:  4500,
+
+		HTMLClasses: []SizeClass{
+			{Frac: 0.35, Lo: 1 * units.KB, Hi: 6 * units.KB},
+			{Frac: 0.60, Lo: 6 * units.KB, Hi: 20 * units.KB},
+			{Frac: 0.05, Lo: 20 * units.KB, Hi: 50 * units.KB},
+		},
+		MOClasses: []SizeClass{
+			{Frac: 0.30, Lo: 40 * units.KB, Hi: 300 * units.KB},
+			{Frac: 0.60, Lo: 300 * units.KB, Hi: 800 * units.KB},
+			{Frac: 0.10, Lo: 800 * units.KB, Hi: 4 * units.MB},
+		},
+
+		OptionalInterestProb: 0.10,
+		OptionalRequestFrac:  0.30,
+
+		SiteCapacity: 150,
+		RepoCapacity: 0, // infinite
+
+		PageRatePerSite: 5,
+		RequestsPerSite: 10000,
+
+		Alpha1: 2,
+		Alpha2: 1,
+	}
+}
+
+// SmallConfig returns a reduced configuration suitable for unit tests and
+// quick examples: same distributions and ratios, ~50× less content.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.Sites = 4
+	c.PagesPerSiteMin = 30
+	c.PagesPerSiteMax = 60
+	c.GlobalObjects = 800
+	c.ObjectsPerSite = 100
+	c.ObjectsPerMax = 300
+	c.CompulsoryMin = 3
+	c.CompulsoryMax = 12
+	c.OptionalMin = 4
+	c.OptionalMax = 15
+	c.RequestsPerSite = 400
+	return c
+}
+
+// Validate rejects configurations the generator cannot honor.
+func (c *Config) Validate() error {
+	switch {
+	case c.Sites <= 0:
+		return fmt.Errorf("workload: Sites must be positive, got %d", c.Sites)
+	case c.PagesPerSiteMin <= 0 || c.PagesPerSiteMax < c.PagesPerSiteMin:
+		return fmt.Errorf("workload: bad pages-per-site range [%d,%d]", c.PagesPerSiteMin, c.PagesPerSiteMax)
+	case c.HotPageFrac < 0 || c.HotPageFrac > 1:
+		return fmt.Errorf("workload: HotPageFrac %v outside [0,1]", c.HotPageFrac)
+	case c.HotTrafficShare < 0 || c.HotTrafficShare > 1:
+		return fmt.Errorf("workload: HotTrafficShare %v outside [0,1]", c.HotTrafficShare)
+	case c.CompulsoryMin <= 0 || c.CompulsoryMax < c.CompulsoryMin:
+		return fmt.Errorf("workload: bad compulsory range [%d,%d]", c.CompulsoryMin, c.CompulsoryMax)
+	case c.OptionalPageFrac < 0 || c.OptionalPageFrac > 1:
+		return fmt.Errorf("workload: OptionalPageFrac %v outside [0,1]", c.OptionalPageFrac)
+	case c.OptionalMin < 0 || c.OptionalMax < c.OptionalMin:
+		return fmt.Errorf("workload: bad optional range [%d,%d]", c.OptionalMin, c.OptionalMax)
+	case c.GlobalObjects <= 0:
+		return fmt.Errorf("workload: GlobalObjects must be positive, got %d", c.GlobalObjects)
+	case c.ObjectsPerSite <= 0 || c.ObjectsPerMax < c.ObjectsPerSite:
+		return fmt.Errorf("workload: bad objects-per-site range [%d,%d]", c.ObjectsPerSite, c.ObjectsPerMax)
+	case c.ObjectsPerMax > c.GlobalObjects:
+		return fmt.Errorf("workload: ObjectsPerMax %d exceeds GlobalObjects %d", c.ObjectsPerMax, c.GlobalObjects)
+	case len(c.HTMLClasses) == 0 || len(c.MOClasses) == 0:
+		return fmt.Errorf("workload: size classes must be non-empty")
+	case c.OptionalInterestProb < 0 || c.OptionalInterestProb > 1:
+		return fmt.Errorf("workload: OptionalInterestProb %v outside [0,1]", c.OptionalInterestProb)
+	case c.OptionalRequestFrac < 0 || c.OptionalRequestFrac > 1:
+		return fmt.Errorf("workload: OptionalRequestFrac %v outside [0,1]", c.OptionalRequestFrac)
+	case c.SiteCapacity < 0 || c.RepoCapacity < 0:
+		return fmt.Errorf("workload: capacities must be non-negative")
+	case c.PageRatePerSite <= 0:
+		return fmt.Errorf("workload: PageRatePerSite must be positive, got %v", c.PageRatePerSite)
+	case c.RequestsPerSite <= 0:
+		return fmt.Errorf("workload: RequestsPerSite must be positive, got %d", c.RequestsPerSite)
+	case c.Alpha1 < 0 || c.Alpha2 < 0 || c.Alpha1+c.Alpha2 == 0:
+		return fmt.Errorf("workload: weights (%v,%v) invalid", c.Alpha1, c.Alpha2)
+	}
+	switch c.Popularity {
+	case "", PopularityHotCold:
+	case PopularityZipf:
+		if c.ZipfS <= 0 {
+			return fmt.Errorf("workload: Zipf popularity needs ZipfS > 0, got %v", c.ZipfS)
+		}
+	default:
+		return fmt.Errorf("workload: unknown popularity model %q", c.Popularity)
+	}
+	// The compulsory+optional demand of a single page must fit in the
+	// site's object pool.
+	if c.CompulsoryMax+c.OptionalMax > c.ObjectsPerSite {
+		return fmt.Errorf("workload: a page may need %d objects but the smallest site pool is %d",
+			c.CompulsoryMax+c.OptionalMax, c.ObjectsPerSite)
+	}
+	if _, err := c.htmlSampler(); err != nil {
+		return fmt.Errorf("workload: HTML classes: %w", err)
+	}
+	if _, err := c.moSampler(); err != nil {
+		return fmt.Errorf("workload: MO classes: %w", err)
+	}
+	return nil
+}
+
+func toRNGClasses(cs []SizeClass) []rng.SizeClass {
+	out := make([]rng.SizeClass, len(cs))
+	for i, c := range cs {
+		out[i] = rng.SizeClass{Frac: c.Frac, Lo: int64(c.Lo), Hi: int64(c.Hi)}
+	}
+	return out
+}
+
+func (c *Config) htmlSampler() (*rng.ClassedSampler, error) {
+	return rng.NewClassedSampler(toRNGClasses(c.HTMLClasses))
+}
+
+func (c *Config) moSampler() (*rng.ClassedSampler, error) {
+	return rng.NewClassedSampler(toRNGClasses(c.MOClasses))
+}
+
+// LinkProb returns the per-link optional request probability U'_jk implied
+// by the interest/fraction parameters.
+func (c *Config) LinkProb() float64 {
+	return c.OptionalInterestProb * c.OptionalRequestFrac
+}

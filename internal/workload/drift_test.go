@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriftPreservesContent(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 91)
+	d, err := Drift(w, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPages() != w.NumPages() || d.NumObjects() != w.NumObjects() || d.NumSites() != w.NumSites() {
+		t.Fatal("drift changed workload shape")
+	}
+	for j := range w.Pages {
+		if len(d.Pages[j].Compulsory) != len(w.Pages[j].Compulsory) {
+			t.Fatalf("page %d content changed", j)
+		}
+		if d.Pages[j].HTMLSize != w.Pages[j].HTMLSize {
+			t.Fatalf("page %d HTML size changed", j)
+		}
+	}
+}
+
+func TestDriftKeepsSiteRates(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 92)
+	d, err := Drift(w, 0.75, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Sites {
+		sum := 0.0
+		for _, pid := range d.Sites[i].Pages {
+			sum += float64(d.Pages[pid].Freq)
+		}
+		if math.Abs(sum-float64(d.Config.PageRatePerSite)) > 1e-9 {
+			t.Errorf("site %d rate %v after drift, want %v", i, sum, d.Config.PageRatePerSite)
+		}
+	}
+}
+
+func TestDriftZeroIsIdentityOfFrequencies(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 93)
+	d, err := Drift(w, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range w.Pages {
+		if d.Pages[j].Hot != w.Pages[j].Hot {
+			t.Fatalf("page %d hotness changed at 0%% drift", j)
+		}
+		if math.Abs(float64(d.Pages[j].Freq-w.Pages[j].Freq)) > 1e-12 {
+			t.Fatalf("page %d frequency changed at 0%% drift", j)
+		}
+	}
+}
+
+func TestDriftFullRotatesHotSet(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 94)
+	d, err := Drift(w, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 100 % rotation no originally-hot page stays hot (cold pool is
+	// large enough in SmallConfig).
+	for j := range w.Pages {
+		if w.Pages[j].Hot && d.Pages[j].Hot {
+			t.Fatalf("page %d stayed hot across full rotation", j)
+		}
+	}
+	// Hot counts are preserved per site.
+	for i := range w.Sites {
+		count := func(wk *Workload) int {
+			n := 0
+			for _, pid := range wk.Sites[i].Pages {
+				if wk.Pages[pid].Hot {
+					n++
+				}
+			}
+			return n
+		}
+		if count(w) != count(d) {
+			t.Errorf("site %d hot count changed: %d -> %d", i, count(w), count(d))
+		}
+	}
+}
+
+func TestDriftDoesNotMutateOriginal(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 95)
+	before := make([]bool, w.NumPages())
+	for j := range w.Pages {
+		before[j] = w.Pages[j].Hot
+	}
+	if _, err := Drift(w, 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	for j := range w.Pages {
+		if w.Pages[j].Hot != before[j] {
+			t.Fatal("Drift mutated the original workload")
+		}
+	}
+}
+
+func TestDriftValidation(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 96)
+	if _, err := Drift(w, -0.1, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := Drift(w, 1.1, 1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 97)
+	a, err := Drift(w, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Drift(w, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Pages {
+		if a.Pages[j].Hot != b.Pages[j].Hot || a.Pages[j].Freq != b.Pages[j].Freq {
+			t.Fatal("drift not deterministic")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the workload JSON decoder: arbitrary input must never
+// panic, and anything it accepts must satisfy Validate (Decode promises
+// validated output).
+func FuzzDecode(f *testing.F) {
+	// Seed with a real workload and mutations of it.
+	w := MustGenerate(SmallConfig(), 1)
+	var sb strings.Builder
+	if err := w.Encode(&sb); err != nil {
+		f.Fatal(err)
+	}
+	valid := sb.String()
+	f.Add(valid)
+	f.Add(strings.Replace(valid, `"id": 0`, `"id": -1`, 1))
+	f.Add(`{}`)
+	f.Add(`{"objects":[{"id":0,"size":-5}],"pages":[],"sites":[]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"objects":[{"id":0,"size":1}],"pages":[{"id":0,"site":9,"htmlSize":1,"freq":1,"compulsory":[0]}],"sites":[{"id":0,"pages":[0],"objects":[0]}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid workload: %v", err)
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Encode writes the workload as indented JSON.
+func (w *Workload) Encode(dst io.Writer) error {
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(w); err != nil {
+		return fmt.Errorf("workload: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a workload from JSON and validates it, so corrupt or
+// hand-edited files fail loudly instead of producing nonsense placements.
+func Decode(src io.Reader) (*Workload, error) {
+	var w Workload
+	dec := json.NewDecoder(src)
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// SaveFile writes the workload to path.
+func (w *Workload) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := w.Encode(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("workload: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a workload from path.
+func LoadFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	return Decode(bufio.NewReader(f))
+}

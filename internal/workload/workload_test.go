@@ -1,0 +1,424 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestGenerateSmallValid(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 1)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumSites() != 4 {
+		t.Errorf("sites = %d", w.NumSites())
+	}
+	if w.NumObjects() != 800 {
+		t.Errorf("objects = %d", w.NumObjects())
+	}
+	if w.NumPages() < 4*30 || w.NumPages() > 4*60 {
+		t.Errorf("pages = %d outside expected range", w.NumPages())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(SmallConfig(), 99)
+	b := MustGenerate(SmallConfig(), 99)
+	var bufA, bufB bytes.Buffer
+	if err := a.Encode(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("same (config, seed) produced different workloads")
+	}
+	c := MustGenerate(SmallConfig(), 100)
+	var bufC bytes.Buffer
+	if err := c.Encode(&bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA.Bytes(), bufC.Bytes()) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := func(mutate func(*Config)) Config {
+		c := DefaultConfig()
+		mutate(&c)
+		return c
+	}
+	cases := map[string]Config{
+		"zero sites":       bad(func(c *Config) { c.Sites = 0 }),
+		"inverted pages":   bad(func(c *Config) { c.PagesPerSiteMax = c.PagesPerSiteMin - 1 }),
+		"hot frac":         bad(func(c *Config) { c.HotPageFrac = 1.5 }),
+		"hot share":        bad(func(c *Config) { c.HotTrafficShare = -0.1 }),
+		"compulsory":       bad(func(c *Config) { c.CompulsoryMin = 0 }),
+		"optional range":   bad(func(c *Config) { c.OptionalMax = c.OptionalMin - 1 }),
+		"global objects":   bad(func(c *Config) { c.GlobalObjects = 0 }),
+		"pool too big":     bad(func(c *Config) { c.ObjectsPerMax = c.GlobalObjects + 1 }),
+		"page over pool":   bad(func(c *Config) { c.ObjectsPerSite = 10 }),
+		"no HTML classes":  bad(func(c *Config) { c.HTMLClasses = nil }),
+		"bad MO classes":   bad(func(c *Config) { c.MOClasses[0].Frac = 0.9 }),
+		"interest prob":    bad(func(c *Config) { c.OptionalInterestProb = 2 }),
+		"request frac":     bad(func(c *Config) { c.OptionalRequestFrac = -1 }),
+		"neg capacity":     bad(func(c *Config) { c.SiteCapacity = -1 }),
+		"zero page rate":   bad(func(c *Config) { c.PageRatePerSite = 0 }),
+		"zero requests":    bad(func(c *Config) { c.RequestsPerSite = 0 }),
+		"zero weights":     bad(func(c *Config) { c.Alpha1, c.Alpha2 = 0, 0 }),
+		"negative weights": bad(func(c *Config) { c.Alpha1 = -1 }),
+	}
+	for name, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	c := DefaultConfig()
+	c.Sites = -1
+	if _, err := Generate(c, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// TestWorkloadMatchesTable1 audits a full-size workload against the paper's
+// Table 1 (experiment S2 in DESIGN.md). This is the slowest workload test
+// (~1 s) but it pins the generator to the paper.
+func TestWorkloadMatchesTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table-1 workload generation in -short mode")
+	}
+	w := MustGenerate(DefaultConfig(), 2026)
+	s := Summarize(w)
+
+	if s.Sites != 10 {
+		t.Errorf("sites = %d, want 10", s.Sites)
+	}
+	if s.Objects != 15000 {
+		t.Errorf("objects = %d, want 15000", s.Objects)
+	}
+	if s.PagesPerSite.Min() < 400 || s.PagesPerSite.Max() > 800 {
+		t.Errorf("pages per site range [%v,%v], want within [400,800]", s.PagesPerSite.Min(), s.PagesPerSite.Max())
+	}
+	if s.ObjectsPerSite.Min() < 1500 || s.ObjectsPerSite.Max() > 4500 {
+		t.Errorf("objects per site range [%v,%v]", s.ObjectsPerSite.Min(), s.ObjectsPerSite.Max())
+	}
+	if s.CompPerPage.Min() < 5 || s.CompPerPage.Max() > 45 {
+		t.Errorf("compulsory per page range [%v,%v]", s.CompPerPage.Min(), s.CompPerPage.Max())
+	}
+	if s.OptPerPage.N() > 0 && (s.OptPerPage.Min() < 10 || s.OptPerPage.Max() > 85) {
+		t.Errorf("optional per page range [%v,%v]", s.OptPerPage.Min(), s.OptPerPage.Max())
+	}
+	optFrac := float64(s.OptionalPages) / float64(s.Pages)
+	if math.Abs(optFrac-0.10) > 0.02 {
+		t.Errorf("optional page fraction = %v, want ~0.10", optFrac)
+	}
+	hotFrac := float64(s.HotPages) / float64(s.Pages)
+	if math.Abs(hotFrac-0.10) > 0.01 {
+		t.Errorf("hot page fraction = %v, want ~0.10", hotFrac)
+	}
+	if math.Abs(s.HotTraffic-0.60) > 0.02 {
+		t.Errorf("hot traffic share = %v, want ~0.60", s.HotTraffic)
+	}
+	// §5.2: 100 % storage ≈ 1.8 GB on average.
+	avgGB := s.FullStorage.Mean() / float64(units.GB)
+	if avgGB < 1.4 || avgGB > 2.3 {
+		t.Errorf("average 100%%-storage = %.2f GB, want ≈1.8 GB", avgGB)
+	}
+	// Aggregate page rate per site equals the configured 5 req/s.
+	if math.Abs(s.PageRate.Mean()-5) > 1e-6 {
+		t.Errorf("page rate per site = %v, want 5", s.PageRate.Mean())
+	}
+}
+
+func TestTrafficShareSkew(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 7)
+	for i := 0; i < w.NumSites(); i++ {
+		share := TrafficShare(w, SiteID(i), 0.10)
+		if share < 0.5 || share > 0.7 {
+			t.Errorf("site %d: top-10%% pages carry %.2f of traffic, want ~0.60", i, share)
+		}
+	}
+}
+
+func TestPageFrequenciesSumToSiteRate(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 13)
+	for i := range w.Sites {
+		sum := 0.0
+		for _, pid := range w.Sites[i].Pages {
+			sum += float64(w.Pages[pid].Freq)
+		}
+		if math.Abs(sum-float64(w.Config.PageRatePerSite)) > 1e-9 {
+			t.Errorf("site %d frequencies sum to %v, want %v", i, sum, w.Config.PageRatePerSite)
+		}
+	}
+}
+
+func TestOptionalRate(t *testing.T) {
+	p := Page{Freq: 2, Optional: []OptionalLink{{Object: 0, Prob: 0.03}, {Object: 1, Prob: 0.03}}}
+	got := float64(p.OptionalRate())
+	if math.Abs(got-0.12) > 1e-12 {
+		t.Errorf("OptionalRate = %v, want 0.12", got)
+	}
+}
+
+func TestFullStorageIncludesEverything(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 21)
+	for i := range w.Sites {
+		full := w.FullStorageBytes(SiteID(i))
+		html := w.HTMLStorageBytes(SiteID(i))
+		if full <= html {
+			t.Errorf("site %d: full storage %v not above HTML-only %v", i, full, html)
+		}
+	}
+}
+
+func TestFullStorageCountsSharedObjectsOnce(t *testing.T) {
+	// Two pages sharing one object: the object's bytes appear once.
+	w := &Workload{
+		Objects: []Object{{ID: 0, Size: 100}},
+		Pages: []Page{
+			{ID: 0, Site: 0, HTMLSize: 10, Compulsory: []ObjectID{0}},
+			{ID: 1, Site: 0, HTMLSize: 10, Compulsory: []ObjectID{0}},
+		},
+		Sites: []Site{{ID: 0, Pages: []PageID{0, 1}, Objects: []ObjectID{0}}},
+	}
+	if got := w.FullStorageBytes(0); got != 120 {
+		t.Errorf("FullStorageBytes = %d, want 120", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Workload { return MustGenerate(SmallConfig(), 3) }
+
+	w := fresh()
+	w.Pages[0].Site = SiteID(w.NumSites()) // inconsistent with hosting lists
+	if err := w.Validate(); err == nil {
+		t.Error("bad page site not caught")
+	}
+
+	w = fresh()
+	w.Pages[0].Compulsory = append(w.Pages[0].Compulsory, ObjectID(w.NumObjects()))
+	if err := w.Validate(); err == nil {
+		t.Error("out-of-range compulsory object not caught")
+	}
+
+	w = fresh()
+	w.Pages[0].Compulsory = append(w.Pages[0].Compulsory, w.Pages[0].Compulsory[0])
+	if err := w.Validate(); err == nil {
+		t.Error("duplicate compulsory object not caught")
+	}
+
+	w = fresh()
+	w.Objects[0].Size = 0
+	if err := w.Validate(); err == nil {
+		t.Error("zero object size not caught")
+	}
+
+	w = fresh()
+	w.Pages[0].HTMLSize = -1
+	if err := w.Validate(); err == nil {
+		t.Error("negative HTML size not caught")
+	}
+
+	w = fresh()
+	// Page hosted twice.
+	w.Sites[1].Pages = append(w.Sites[1].Pages, w.Sites[0].Pages[0])
+	if err := w.Validate(); err == nil {
+		t.Error("page on two sites not caught")
+	}
+
+	w = fresh()
+	// Make an object both compulsory and optional on a page that has optionals.
+	for j := range w.Pages {
+		if len(w.Pages[j].Optional) > 0 {
+			w.Pages[j].Optional[0].Object = w.Pages[j].Compulsory[0]
+			break
+		}
+	}
+	if err := w.Validate(); err == nil {
+		t.Error("compulsory∩optional overlap not caught")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 5)
+	var buf bytes.Buffer
+	if err := w.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := got.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := w.Encode(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("JSON round trip not identity")
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Structurally valid JSON but semantically broken workload.
+	if _, err := Decode(strings.NewReader(`{"objects":[{"id":5,"size":10}],"pages":[],"sites":[]}`)); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 8)
+	path := t.TempDir() + "/w.json"
+	if err := w.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPages() != w.NumPages() || got.Seed != w.Seed {
+		t.Error("loaded workload differs")
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestSummaryWrite(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 9)
+	s := Summarize(w)
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Local sites", "Hot pages", "storage per site"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinkProbsMatchConfig(t *testing.T) {
+	w := MustGenerate(SmallConfig(), 10)
+	want := w.Config.LinkProb()
+	for j := range w.Pages {
+		for _, l := range w.Pages[j].Optional {
+			if l.Prob != want {
+				t.Fatalf("page %d link prob %v, want %v", j, l.Prob, want)
+			}
+		}
+	}
+}
+
+func TestZipfPopularity(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Popularity = PopularityZipf
+	cfg.ZipfS = 0.8
+	w := MustGenerate(cfg, 99)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-site rates still sum to the configured aggregate.
+	for i := range w.Sites {
+		sum := 0.0
+		for _, pid := range w.Sites[i].Pages {
+			sum += float64(w.Pages[pid].Freq)
+		}
+		if math.Abs(sum-float64(cfg.PageRatePerSite)) > 1e-9 {
+			t.Errorf("site %d rate %v", i, sum)
+		}
+	}
+	// Heavy tail: the top 10%% of pages carry well above 10%% of traffic
+	// but a different share than the two-class model's fixed 60%%.
+	share := TrafficShare(w, 0, 0.10)
+	if share < 0.2 || share > 0.95 {
+		t.Errorf("zipf top-10%% share = %v", share)
+	}
+	// Hot flags mark the highest-frequency pages.
+	for _, pid := range w.Sites[0].Pages {
+		if w.Pages[pid].Hot {
+			for _, qid := range w.Sites[0].Pages {
+				if !w.Pages[qid].Hot && w.Pages[qid].Freq > w.Pages[pid].Freq {
+					t.Fatalf("cold page %d hotter than hot page %d", qid, pid)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Popularity = PopularityZipf
+	if err := cfg.Validate(); err == nil {
+		t.Error("zipf without exponent accepted")
+	}
+	cfg.Popularity = "pareto"
+	cfg.ZipfS = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown popularity model accepted")
+	}
+}
+
+func TestMirrorHotPages(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.MirrorHotPages = 2
+	w := MustGenerate(cfg, 121)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base := MustGenerate(SmallConfig(), 121)
+	if w.NumPages() <= base.NumPages() {
+		t.Fatalf("mirroring added no pages: %d vs %d", w.NumPages(), base.NumPages())
+	}
+	// Total request rate is preserved (copies split the original's rate).
+	var total, baseTotal float64
+	for j := range w.Pages {
+		total += float64(w.Pages[j].Freq)
+	}
+	for j := range base.Pages {
+		baseTotal += float64(base.Pages[j].Freq)
+	}
+	if math.Abs(total-baseTotal) > 1e-6 {
+		t.Errorf("total rate changed: %v vs %v", total, baseTotal)
+	}
+	// Copies are on different sites than the originals they mirror, and
+	// reference the same content; every copy's objects are in its site's
+	// pool (Validate checks referenced objects exist globally; pool
+	// membership matters for the planner's reverse indexes).
+	for j := base.NumPages(); j < w.NumPages(); j++ {
+		cp := &w.Pages[j]
+		if !cp.Hot {
+			t.Fatalf("copy %d not hot", j)
+		}
+		pool := map[ObjectID]bool{}
+		for _, k := range w.Sites[cp.Site].Objects {
+			pool[k] = true
+		}
+		for _, k := range cp.Compulsory {
+			if !pool[k] {
+				t.Fatalf("copy %d references object %d outside site %d pool", j, k, cp.Site)
+			}
+		}
+	}
+}

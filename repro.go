@@ -1,0 +1,364 @@
+// Package repro is the public API of the reproduction of Loukopoulos &
+// Ahmad, "Replicating the Contents of a WWW Multimedia Repository to
+// Minimize Download Time" (IPPS 2000).
+//
+// The library models a company with one central multimedia repository and s
+// local web sites. Each page's multimedia objects are split between a local
+// download chain and a repository download chain fetched in parallel; the
+// planner (the paper's contribution) chooses the split and the replica set
+// per site to minimize the weighted response-time objective under storage
+// and processing-capacity constraints, and a simulator measures the
+// resulting response times under realistic deviations from the planner's
+// network estimates.
+//
+// Typical use:
+//
+//	w := repro.MustGenerateWorkload(repro.DefaultWorkloadConfig(), 42)
+//	est, _ := repro.DrawEstimates(repro.DefaultNetConfig(), w.NumSites(), repro.NewStream(42))
+//	env, _ := repro.NewEnv(w, est, repro.FullBudgets(w))
+//	placement, result, _ := repro.Plan(env, repro.PlanOptions{})
+//	sim, _ := repro.Simulate(w, est, repro.NewStaticPolicy("Proposed", placement),
+//		repro.DefaultSimConfig(w), repro.NewStream(7))
+//	fmt.Println(sim.CompositeMean())
+//
+// The experiment harness that regenerates every table and figure of the
+// paper's evaluation is exposed through Figure1/Figure2/Figure3/Table1 and
+// StorageEquivalence; see EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/httpsim"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/policies"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Core identifier and value types.
+type (
+	// ObjectID identifies a multimedia object M_k.
+	ObjectID = workload.ObjectID
+	// PageID identifies a web page W_j.
+	PageID = workload.PageID
+	// SiteID identifies a local server S_i.
+	SiteID = workload.SiteID
+	// ByteSize is a size in bytes.
+	ByteSize = units.ByteSize
+	// Rate is a transfer rate in bytes/second.
+	Rate = units.Rate
+	// Seconds is a duration in seconds.
+	Seconds = units.Seconds
+	// ReqPerSec is an HTTP request rate.
+	ReqPerSec = units.ReqPerSec
+)
+
+// Byte-size constants.
+const (
+	Byte = units.Byte
+	KB   = units.KB
+	MB   = units.MB
+	GB   = units.GB
+)
+
+// Workload types and generation.
+type (
+	// Workload is the generated environment: objects, pages, sites.
+	Workload = workload.Workload
+	// WorkloadConfig holds the Table-1 generator parameters.
+	WorkloadConfig = workload.Config
+	// WorkloadSummary is the generator audit (realized Table-1 values).
+	WorkloadSummary = workload.Summary
+)
+
+// DefaultWorkloadConfig returns the paper's Table-1 parameters.
+func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// SmallWorkloadConfig returns a reduced configuration for quick experiments.
+func SmallWorkloadConfig() WorkloadConfig { return workload.SmallConfig() }
+
+// GenerateWorkload builds a workload from a configuration and seed.
+func GenerateWorkload(cfg WorkloadConfig, seed uint64) (*Workload, error) {
+	return workload.Generate(cfg, seed)
+}
+
+// MustGenerateWorkload is GenerateWorkload panicking on error.
+func MustGenerateWorkload(cfg WorkloadConfig, seed uint64) *Workload {
+	return workload.MustGenerate(cfg, seed)
+}
+
+// SummarizeWorkload computes the Table-1 audit of a workload.
+func SummarizeWorkload(w *Workload) *WorkloadSummary { return workload.Summarize(w) }
+
+// LoadWorkload reads a workload from a JSON file.
+func LoadWorkload(path string) (*Workload, error) { return workload.LoadFile(path) }
+
+// Network estimates and perturbation.
+type (
+	// NetConfig holds the Table-1 network attribute ranges.
+	NetConfig = netsim.Config
+	// Estimates is the per-site set of estimated network attributes.
+	Estimates = netsim.Estimates
+	// PerturbConfig is the §5.1 estimate-vs-actual deviation model.
+	PerturbConfig = netsim.PerturbConfig
+	// Stream is a deterministic random stream.
+	Stream = rng.Stream
+)
+
+// DefaultNetConfig returns the Table-1 network parameter ranges.
+func DefaultNetConfig() NetConfig { return netsim.DefaultConfig() }
+
+// DefaultPerturbConfig returns the §5.1 perturbation model.
+func DefaultPerturbConfig() PerturbConfig { return netsim.DefaultPerturbConfig() }
+
+// NoPerturbConfig returns the identity perturbation (actual == estimate).
+func NoPerturbConfig() PerturbConfig { return netsim.NoPerturbConfig() }
+
+// NewStream returns a deterministic random stream.
+func NewStream(seed uint64) *Stream { return rng.New(seed) }
+
+// DrawEstimates draws per-site network estimates.
+func DrawEstimates(cfg NetConfig, numSites int, s *Stream) (*Estimates, error) {
+	return netsim.DrawEstimates(cfg, numSites, s)
+}
+
+// Cost model.
+type (
+	// Env bundles workload, estimates, budgets and objective weights.
+	Env = model.Env
+	// Budgets holds the Eq. 8-10 constraint right-hand sides.
+	Budgets = model.Budgets
+	// Placement is an assignment of the X/X' matrices plus replica sets.
+	Placement = model.Placement
+	// ConstraintReport evaluates a placement against every constraint.
+	ConstraintReport = model.Report
+)
+
+// NewEnv builds a planning environment.
+func NewEnv(w *Workload, est *Estimates, b Budgets) (*Env, error) {
+	return model.NewEnv(w, est, b)
+}
+
+// FullBudgets returns 100 % storage, configured capacities, unconstrained
+// repository.
+func FullBudgets(w *Workload) Budgets { return model.FullBudgets(w) }
+
+// InfiniteCapacity is the sentinel for an unconstrained processing capacity.
+func InfiniteCapacity() ReqPerSec { return model.Infinite() }
+
+// Evaluate produces a full cost/constraint report for a placement.
+func Evaluate(e *Env, p *Placement) *ConstraintReport { return model.Evaluate(e, p) }
+
+// AllLocal returns the placement downloading every object locally.
+func AllLocal(w *Workload) *Placement { return model.AllLocal(w) }
+
+// AllRemote returns the placement downloading every object remotely.
+func AllRemote(w *Workload) *Placement { return model.AllRemote(w) }
+
+// Planner (the paper's contribution).
+type (
+	// PlanOptions controls plan execution.
+	PlanOptions = core.Options
+	// PlanResult reports a planning run.
+	PlanResult = core.Result
+	// OffloadStats summarizes the off-loading negotiation.
+	OffloadStats = core.OffloadStats
+)
+
+// Plan runs PARTITION, the constraint restorations and the off-loading
+// negotiation, returning the placement and a report.
+func Plan(env *Env, opts PlanOptions) (*Placement, *PlanResult, error) {
+	return core.Plan(env, opts)
+}
+
+// Simulation.
+type (
+	// SimConfig controls a simulation run.
+	SimConfig = httpsim.Config
+	// SimResult aggregates simulated response times.
+	SimResult = httpsim.Result
+	// Policy decides, per page view, which objects are served locally.
+	Policy = httpsim.Decider
+)
+
+// DefaultSimConfig returns the paper's simulation parameters.
+func DefaultSimConfig(w *Workload) SimConfig { return httpsim.DefaultConfig(w) }
+
+// Simulate runs a policy over the workload's request streams.
+func Simulate(w *Workload, est *Estimates, pol Policy, cfg SimConfig, s *Stream) (*SimResult, error) {
+	return httpsim.Run(w, est, pol, cfg, s)
+}
+
+// Policies.
+type (
+	// StaticPolicy serves requests according to a fixed placement.
+	StaticPolicy = policies.Static
+	// LRUPolicy is the ideal LRU caching/redirection baseline.
+	LRUPolicy = policies.LRU
+)
+
+// NewStaticPolicy wraps a placement as a simulation policy.
+func NewStaticPolicy(name string, p *Placement) *StaticPolicy {
+	return policies.NewStatic(name, p)
+}
+
+// NewRemotePolicy returns the "download all from the repository" baseline.
+func NewRemotePolicy(w *Workload) *StaticPolicy { return policies.NewRemote(w) }
+
+// NewLocalPolicy returns the "download all from the local servers" baseline.
+func NewLocalPolicy(w *Workload) *StaticPolicy { return policies.NewLocal(w) }
+
+// NewLRUPolicy returns the ideal LRU baseline for the given budgets.
+func NewLRUPolicy(w *Workload, b Budgets, seed uint64) (*LRUPolicy, error) {
+	return policies.NewLRU(w, b, seed)
+}
+
+// Experiments (the paper's evaluation).
+type (
+	// ExperimentOptions configures an experiment.
+	ExperimentOptions = experiments.Options
+	// Figure is a renderable set of experiment series.
+	Figure = stats.Figure
+	// EquivalenceResult reports the §5.2 storage-equivalence claim.
+	EquivalenceResult = experiments.EquivalenceResult
+)
+
+// PaperExperiment returns the full Table-1 experiment configuration.
+func PaperExperiment() ExperimentOptions { return experiments.Paper() }
+
+// QuickExperiment returns a reduced experiment configuration.
+func QuickExperiment() ExperimentOptions { return experiments.Quick() }
+
+// Figure1 regenerates the paper's Figure 1 (response time vs storage).
+func Figure1(opts ExperimentOptions) (*Figure, error) { return experiments.Figure1(opts) }
+
+// Figure2 regenerates Figure 2 (response time vs processing capacity).
+func Figure2(opts ExperimentOptions) (*Figure, error) { return experiments.Figure2(opts) }
+
+// Figure3 regenerates Figure 3 (constrained repository capacities).
+func Figure3(opts ExperimentOptions) (*Figure, error) { return experiments.Figure3(opts) }
+
+// Table1 regenerates the Table-1 workload audit.
+func Table1(opts ExperimentOptions) (*WorkloadSummary, error) { return experiments.Table1(opts) }
+
+// StorageEquivalence measures the §5.2 "same response time with ~65 % of
+// the storage" claim.
+func StorageEquivalence(opts ExperimentOptions) (*EquivalenceResult, error) {
+	return experiments.StorageEquivalence(opts)
+}
+
+// AblationResult compares the algorithm with its design-choice ablations.
+type AblationResult = experiments.AblationResult
+
+// Ablations measures the planner against its ablations (unsorted
+// PARTITION, no re-partitioning) and the naive splits on identical traffic.
+func Ablations(opts ExperimentOptions) (*AblationResult, error) {
+	return experiments.Ablations(opts)
+}
+
+// DriftFigure measures how stale plans age as the hot set rotates — the
+// Section-4.1 motivation for periodic re-execution.
+func DriftFigure(opts ExperimentOptions) (*Figure, error) {
+	return experiments.Drift(opts)
+}
+
+// RedirectStudy quantifies the Section-6 argument: server-side URL
+// rewriting vs per-access redirection latency.
+func RedirectStudy(opts ExperimentOptions) (*Figure, error) {
+	return experiments.RedirectStudy(opts)
+}
+
+// Sensitivity measures how the proposed policy's advantage survives as
+// actual network conditions drift from the planner's estimates (§5.1).
+func Sensitivity(opts ExperimentOptions) (*Figure, error) {
+	return experiments.Sensitivity(opts)
+}
+
+// ThresholdStudy sweeps a threshold-driven dynamic replication baseline
+// against the static plan (the paper's other Section-6 critique).
+func ThresholdStudy(opts ExperimentOptions) (*Figure, error) {
+	return experiments.ThresholdStudy(opts)
+}
+
+// QueueingStudy isolates the queueing overhead an Eq. 8-aware plan avoids
+// versus a capacity-ignorant plan, under the fluid-queue extension.
+func QueueingStudy(opts ExperimentOptions) (*Figure, error) {
+	return experiments.QueueingStudy(opts)
+}
+
+// PeriodStudy quantifies the re-planning period trade-off (responsiveness
+// vs replica churn) under continuously drifting traffic.
+func PeriodStudy(opts ExperimentOptions) (*Figure, error) {
+	return experiments.PeriodStudy(opts)
+}
+
+// WeightsStudy probes the (α1, α2) objective weights' page-vs-optional
+// trade-off under tight storage.
+func WeightsStudy(opts ExperimentOptions) (*Figure, error) {
+	return experiments.WeightsStudy(opts)
+}
+
+// NewThresholdPolicy returns the threshold-driven dynamic replication
+// baseline.
+func NewThresholdPolicy(w *Workload, b Budgets, replicateAt, decayEvery int64) (Policy, error) {
+	return policies.NewThreshold(w, b, replicateAt, decayEvery)
+}
+
+// DriftWorkload returns a copy of the workload with a rotated hot set.
+func DriftWorkload(w *Workload, swapFrac float64, seed uint64) (*Workload, error) {
+	return workload.Drift(w, swapFrac, seed)
+}
+
+// Trace record/replay: a trace pins the traffic and the per-request network
+// conditions so different policies (or policy versions) can be measured on
+// byte-identical inputs, including across processes.
+type Trace = httpsim.Trace
+
+// RecordTrace draws a request trace for the workload.
+func RecordTrace(w *Workload, est *Estimates, cfg SimConfig, s *Stream) (*Trace, error) {
+	return httpsim.Record(w, est, cfg, s)
+}
+
+// ReplayTrace measures a policy over a recorded trace.
+func ReplayTrace(w *Workload, tr *Trace, pol Policy) (*SimResult, error) {
+	return httpsim.Replay(w, tr, pol)
+}
+
+// LoadTrace reads a trace for the workload from a JSON file.
+func LoadTrace(w *Workload, path string) (*Trace, error) {
+	return httpsim.LoadTraceFile(w, path)
+}
+
+// LoadPlacement reads a placement for the workload from a JSON file.
+func LoadPlacement(w *Workload, path string) (*Placement, error) {
+	return model.LoadPlacementFile(w, path)
+}
+
+// PlacementDiff reports the migration between two placements.
+type PlacementDiff = model.DiffReport
+
+// DiffPlacements computes what applying placement b after placement a
+// costs: replicas copied in, replicas deleted, reference marks flipped.
+func DiffPlacements(a, b *Placement) (*PlacementDiff, error) {
+	return model.Diff(a, b)
+}
+
+// ExplainPage writes the decision rationale for one page under a placement:
+// chain times, the binding chain, and each compulsory object's side, size
+// and single-flip ΔD — the operator's answer to "why is this object
+// remote?".
+func ExplainPage(env *Env, p *Placement, j PageID, w io.Writer) error {
+	pl := core.NewPlanner(env)
+	// Rebuild the planner's incremental state from the given placement.
+	if err := pl.AdoptPlacement(p); err != nil {
+		return err
+	}
+	return pl.Explain(j).Write(w)
+}

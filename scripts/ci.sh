@@ -1,0 +1,32 @@
+#!/bin/sh
+# ci.sh — the full verification pipeline. Everything here must pass before
+# a change lands: formatting, build, vet, the complete test suite, the race
+# detector on the concurrent packages, and a single pass of every benchmark.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== race (concurrent packages) =="
+go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/
+
+echo "== benchmarks (one pass) =="
+go test -bench=. -benchmem -benchtime=1x -run='^$' ./...
+
+echo "CI OK"
