@@ -9,6 +9,11 @@
 //	replexp -exp table1|fig1|fig2|fig3|equiv|all
 //	        -exp ablation|drift|redirect|sensitivity|threshold
 //	        [-scale paper|quick] [-runs N] [-seed N] [-requests N] [-csv DIR]
+//	        [-progress=false]
+//
+// Long sweeps narrate to stderr by default — one line per run setup and per
+// sweep point, with wall-clock and plan statistics; -progress=false silences
+// them.
 //
 // "-exp all" covers the paper's own artifacts; the extension studies run
 // only when named explicitly.
@@ -135,6 +140,7 @@ func run(args []string, stdout io.Writer) error {
 	requests := fs.Int("requests", 0, "override page requests per site")
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	plot := fs.Bool("plot", false, "also render figures as text charts")
+	progress := fs.Bool("progress", true, "narrate run setup and sweep-point completion to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,6 +159,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *requests > 0 {
 		opts.RequestsPerSite = *requests
+	}
+	if *progress {
+		opts.Progress = repro.ProgressWriter(os.Stderr)
 	}
 
 	ran := false

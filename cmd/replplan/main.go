@@ -6,7 +6,8 @@
 // Usage:
 //
 //	replplan [-w workload.json] [-seed N] [-scale paper|small]
-//	         [-storage F] [-capacity F] [-repo F] [-verbose] [-o placement.json]
+//	         [-storage F] [-capacity F] [-repo F] [-verbose] [-trace]
+//	         [-o placement.json]
 //
 // -storage and -capacity scale the sites' budgets (1 = 100 %); -repo caps
 // the repository at that fraction of the workload the sites' pre-offload
@@ -32,6 +33,7 @@ func run(args []string, stdout io.Writer) error {
 	capacity := fs.Float64("capacity", 1, "site processing capacity fraction")
 	repo := fs.Float64("repo", 0, "repository capacity as a fraction of the pre-offload load; 0 = unconstrained")
 	verbose := fs.Bool("verbose", false, "print the off-loading protocol messages")
+	trace := fs.Bool("trace", false, "print the per-phase planner span tree (durations, flip/dealloc counters)")
 	out := fs.String("o", "", "write the planned placement as JSON to this path (replayable by replsim -p)")
 	explain := fs.Int("explain", -1, "print the decision rationale for this page ID")
 	if err := fs.Parse(args); err != nil {
@@ -85,12 +87,23 @@ func run(args []string, stdout io.Writer) error {
 	if *verbose {
 		log = stdout
 	}
-	placement, result, err := repro.Plan(env, repro.PlanOptions{Distributed: true, MessageLog: log})
+	var span *repro.Span
+	if *trace {
+		span = repro.NewSpan("plan")
+	}
+	placement, result, err := repro.Plan(env, repro.PlanOptions{Distributed: true, MessageLog: log, Trace: span})
 	if err != nil {
 		return err
 	}
 	if err := result.Write(stdout); err != nil {
 		return err
+	}
+	if span != nil {
+		span.End()
+		fmt.Fprintln(stdout)
+		if err := span.Write(stdout); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(stdout)
 	if err := repro.Evaluate(env, placement).Write(stdout); err != nil {

@@ -9,14 +9,17 @@
 //
 // Usage:
 //
-//	replserve [-seed N] [-storage F] [-fetch N] [-adapt] [-serve]
+//	replserve [-seed N] [-storage F] [-fetch N] [-adapt] [-metrics] [-serve]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -31,6 +34,7 @@ func run(args []string, stdout io.Writer) error {
 	storage := fs.Float64("storage", 0.5, "storage budget fraction")
 	fetch := fs.Int("fetch", 20, "pages to fetch with the built-in client (0 = none)")
 	adapt := fs.Bool("adapt", false, "after fetching, estimate frequencies and re-plan live")
+	metrics := fs.Bool("metrics", false, "serve a /metrics JSON snapshot and /debug/pprof/ on every server")
 	serve := fs.Bool("serve", false, "keep serving until interrupted instead of exiting")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,7 +62,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "planned: D=%.1f feasible=%v\n", result.D, result.Feasible)
 
-	cluster, err := webserve.StartCluster(w, placement)
+	cluster, err := webserve.StartClusterOptions(w, placement, webserve.ClusterOptions{
+		Metrics: *metrics,
+		Pprof:   *metrics,
+	})
 	if err != nil {
 		return err
 	}
@@ -67,6 +74,9 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "repository: %s\n", cluster.RepoBase)
 	for i, base := range cluster.SiteBases {
 		fmt.Fprintf(stdout, "site S%d:    %s  (%d pages)\n", i, base, len(w.Sites[i].Pages))
+	}
+	if *metrics {
+		fmt.Fprintf(stdout, "metrics:    %s/metrics (and /debug/pprof/, on every server)\n", cluster.RepoBase)
 	}
 	fmt.Fprintf(stdout, "example page: %s\n\n", cluster.PageURL(w.Sites[0].Pages[0]))
 
@@ -89,6 +99,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "fetched %d pages: %d objects local, %d from the repository, avg %.1fms/page (loopback)\n",
 			n, localObjs, repoObjs, float64(elapsed.Milliseconds())/float64(n))
+		if *metrics {
+			fmt.Fprintln(stdout, "\ntelemetry snapshot:")
+			if err := cluster.Metrics.Snapshot().WriteText(stdout); err != nil {
+				return err
+			}
+		}
 	}
 
 	if *adapt {
@@ -121,8 +137,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *serve {
+		// Block until SIGINT/SIGTERM so the deferred cluster.Close() (and
+		// any other cleanup) actually runs on shutdown.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		fmt.Fprintln(stdout, "\nserving — interrupt to stop")
-		select {}
+		<-ctx.Done()
+		stop()
+		fmt.Fprintln(stdout, "shutting down")
+		if *metrics {
+			fmt.Fprintln(stdout, "final telemetry snapshot:")
+			if err := cluster.Metrics.Snapshot().WriteText(stdout); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

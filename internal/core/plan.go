@@ -5,8 +5,10 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -33,6 +35,23 @@ type Options struct {
 	// beyond the paper — see Planner.RefineSite): profitable objects that
 	// fit in the space freed by the restoration are stored after all.
 	Refine bool
+	// Trace, when non-nil, receives one child span per planning phase
+	// (PARTITION, storage/processing restoration, off-loading) with
+	// per-phase busy time and the dealloc/flip/message counters. The nil
+	// default keeps the hot path allocation-free.
+	Trace *telemetry.Span
+}
+
+// lap accumulates the time since from into sp's busy counter and returns
+// the new lap start. With tracing off every span is nil and lap reduces to
+// returning its argument — no clock reads, no allocations.
+func lap(sp *telemetry.Span, from time.Time) time.Time {
+	if sp == nil {
+		return from
+	}
+	now := time.Now()
+	sp.AddBusy(now.Sub(from))
+	return now
 }
 
 // SiteStats records what planning did at one site.
@@ -54,6 +73,9 @@ type Result struct {
 	D1, D2   float64
 	Feasible bool
 	Report   *model.Report
+	// Trace is the span passed via Options.Trace (nil when untraced),
+	// populated with the per-phase timings and counters.
+	Trace *telemetry.Span
 }
 
 // Plan runs the full pipeline of Section 4 over the environment: PARTITION
@@ -75,13 +97,36 @@ func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
 		workers = numSites
 	}
 
+	// Phase spans. The per-site phases interleave across workers, so each
+	// phase span's wall clock covers the whole per-site section while its
+	// busy time sums the actual per-site work; counters are filled from the
+	// deterministic per-site stats below. All of this is skipped — zero
+	// timing calls, zero allocations — when tracing is off.
+	trace := opts.Trace
+	var spPart, spStore, spProc, spRefine *telemetry.Span
+	if trace != nil {
+		spPart = trace.Child("PARTITION")
+		spStore = trace.Child("storage-restore")
+		spProc = trace.Child("processing-restore")
+		if opts.Refine {
+			spRefine = trace.Child("refine")
+		}
+	}
 	stats := make([]SiteStats, numSites)
 	planSite := func(i workload.SiteID) {
+		var t time.Time
+		if trace != nil {
+			t = time.Now()
+		}
 		pl.PartitionSite(i)
+		t = lap(spPart, t)
 		d := pl.RestoreStorageSite(i)
+		t = lap(spStore, t)
 		f := pl.RestoreProcessingSite(i)
+		t = lap(spProc, t)
 		if opts.Refine {
 			pl.RefineSite(i)
+			lap(spRefine, t)
 		}
 		stats[i] = SiteStats{Site: i, Deallocs: d, ProcFlips: f}
 	}
@@ -112,17 +157,49 @@ func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
 		wg.Wait()
 	}
 
+	spPart.End()
+	spStore.End()
+	spProc.End()
+	spRefine.End()
+
+	spOff := trace.Child("off-loading")
 	var off OffloadStats
 	if opts.Distributed {
 		off = pl.RunOffloadDistributed(opts.MessageLog)
 	} else {
 		off = pl.Offload(opts.MessageLog)
 	}
+	spOff.End()
 
-	res := &Result{Sites: stats, Offload: off, D: pl.D(), D1: pl.D1(), D2: pl.D2()}
+	res := &Result{Sites: stats, Offload: off, D: pl.D(), D1: pl.D1(), D2: pl.D2(), Trace: trace}
 	fillSiteStats(pl, res)
 	res.Report = model.Evaluate(env, pl.p)
 	res.Feasible = res.Report.Feasible()
+
+	if trace != nil {
+		var deallocs, flips int64
+		for _, s := range stats {
+			deallocs += int64(s.Deallocs)
+			flips += int64(s.ProcFlips)
+		}
+		var localComp, remoteComp, localOpt int64
+		for _, s := range res.Sites {
+			localComp += int64(s.LocalComp)
+			remoteComp += int64(s.RemoteComp)
+			localOpt += int64(s.LocalOpt)
+		}
+		spPart.Count("pages", int64(env.W.NumPages()))
+		// Final assignment shape (after restoration and off-loading).
+		trace.Count("local-comp", localComp)
+		trace.Count("remote-comp", remoteComp)
+		trace.Count("local-opt", localOpt)
+		spStore.Count("deallocs", deallocs)
+		spProc.Count("flips", flips)
+		spOff.Count("rounds", int64(off.Rounds))
+		spOff.Count("messages", int64(off.Messages))
+		spOff.Count("new-replicas", int64(off.NewReplicas))
+		spOff.Count("swaps", int64(off.Swaps))
+	}
 	return pl.p, res, nil
 }
 

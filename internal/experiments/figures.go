@@ -2,12 +2,23 @@ package experiments
 
 import (
 	"sync"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/policies"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
+
+// totalFlips sums the per-site processing-restoration flips of a plan.
+func totalFlips(pr *core.Result) int64 {
+	var n int64
+	for _, s := range pr.Sites {
+		n += int64(s.ProcFlips)
+	}
+	return n
+}
 
 // collector accumulates per-(series, x) relative response times across runs
 // thread-safely (runs execute concurrently).
@@ -101,6 +112,7 @@ func Figure1(opts Options) (*stats.Figure, error) {
 		}
 
 		for _, frac := range StorageGrid {
+			pointStart := time.Now()
 			b := unconstrainedBudgets(env.w).Scale(env.w, frac, 1)
 			// Scale keeps capacities; re-relax them explicitly.
 			for i := range b.SiteCapacity {
@@ -108,7 +120,7 @@ func Figure1(opts Options) (*stats.Figure, error) {
 			}
 			b.RepoCapacity = model.Infinite()
 
-			oursRT, err := env.simulatePlanned(b, false)
+			oursRT, pr, err := env.simulatePlanned(b, false)
 			if err != nil {
 				return err
 			}
@@ -126,6 +138,10 @@ func Figure1(opts Options) (*stats.Figure, error) {
 
 			col.add("Remote", frac*100, stats.RelativeIncrease(remoteRT, env.baseRT))
 			col.add("Local", frac*100, stats.RelativeIncrease(localRT, env.baseRT))
+			opts.progressf("fig1 run %d: storage %3.0f%% — plan D=%.1f feasible=%v, proposed %+.1f%%, lru %+.1f%% (%.2fs)",
+				r, frac*100, pr.D, pr.Feasible,
+				stats.RelativeIncrease(oursRT, env.baseRT), stats.RelativeIncrease(lruRT, env.baseRT),
+				time.Since(pointStart).Seconds())
 		}
 		return nil
 	})
@@ -143,18 +159,22 @@ func Figure2(opts Options) (*stats.Figure, error) {
 	col := newCollector()
 	err := forEachRun(&opts, func(r int, env *runEnv) error {
 		for _, frac := range CapacityGrid {
+			pointStart := time.Now()
 			b := model.FullBudgets(env.w).Scale(env.w, 1, frac)
 			b.RepoCapacity = model.Infinite()
-			oursRT, err := env.simulatePlanned(b, false)
+			oursRT, pr, err := env.simulatePlanned(b, false)
 			if err != nil {
 				return err
 			}
 			col.add("Proposed", frac*100, stats.RelativeIncrease(oursRT, env.baseRT))
+			opts.progressf("fig2 run %d: capacity %3.0f%% — plan D=%.1f flips=%d, proposed %+.1f%% (%.2fs)",
+				r, frac*100, pr.D, totalFlips(pr),
+				stats.RelativeIncrease(oursRT, env.baseRT), time.Since(pointStart).Seconds())
 		}
 		// The 0 % anchor: everything is forced remote.
 		b := model.FullBudgets(env.w).Scale(env.w, 1, 0)
 		b.RepoCapacity = model.Infinite()
-		zeroRT, err := env.simulatePlanned(b, false)
+		zeroRT, _, err := env.simulatePlanned(b, false)
 		if err != nil {
 			return err
 		}
@@ -191,13 +211,17 @@ func Figure3(opts Options) (*stats.Figure, error) {
 			preLoad := model.RepoLoad(probeEnv, pp)
 
 			for _, centralFrac := range CentralGrid {
+				pointStart := time.Now()
 				b := model.FullBudgets(env.w).Scale(env.w, 1, localFrac)
 				b.RepoCapacity = units.ReqPerSec(float64(preLoad) * centralFrac)
-				rt, err := env.simulatePlanned(b, false)
+				rt, pr, err := env.simulatePlanned(b, false)
 				if err != nil {
 					return err
 				}
 				col.add(seriesName(centralFrac), localFrac*100, stats.RelativeIncrease(rt, env.baseRT))
+				opts.progressf("fig3 run %d: local %3.0f%% central %2.0f%% — offload rounds=%d msgs=%d restored=%v, %+.1f%% (%.2fs)",
+					r, localFrac*100, centralFrac*100, pr.Offload.Rounds, pr.Offload.Messages,
+					pr.Offload.Restored, stats.RelativeIncrease(rt, env.baseRT), time.Since(pointStart).Seconds())
 			}
 		}
 		return nil

@@ -12,7 +12,9 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"runtime"
+	"sync"
 
 	"repro/internal/netsim"
 	"repro/internal/workload"
@@ -34,6 +36,12 @@ type Options struct {
 	// RequestsPerSite overrides the workload config's request count when
 	// positive.
 	RequestsPerSite int
+	// Progress, when non-nil, receives one formatted line per harness
+	// event — run-environment setup and each sweep point's completion with
+	// its wall-clock and plan statistics — so long sweeps can narrate.
+	// Runs execute concurrently: the sink must serialize its own output
+	// (ProgressWriter does).
+	Progress func(format string, args ...interface{})
 }
 
 // Paper returns the full Table-1 configuration: 10 sites, 15,000 objects,
@@ -92,4 +100,23 @@ func (o *Options) requests() int {
 		return o.RequestsPerSite
 	}
 	return o.Workload.RequestsPerSite
+}
+
+// progressf reports one harness event to the Progress sink; no-op when the
+// sink is unset.
+func (o *Options) progressf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// ProgressWriter returns a Progress sink writing one line per event to w,
+// serialized by an internal mutex so concurrent runs interleave cleanly.
+func ProgressWriter(w io.Writer) func(format string, args ...interface{}) {
+	var mu sync.Mutex
+	return func(format string, args ...interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, format+"\n", args...)
+	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpsim"
@@ -35,6 +36,7 @@ const (
 
 // newRunEnv builds run r.
 func newRunEnv(opts *Options, r int) (*runEnv, error) {
+	start := time.Now()
 	root := rng.New(opts.Seed)
 	wSeed := root.Split(runWorkloadStream, uint64(r)).Seed()
 	w, err := workload.Generate(opts.Workload, wSeed)
@@ -59,7 +61,7 @@ func newRunEnv(opts *Options, r int) (*runEnv, error) {
 
 	// Reference: the proposed policy with no constraints (full storage,
 	// unconstrained processing everywhere) — the figures' denominator.
-	base, err := env.simulatePlanned(unconstrainedBudgets(w), false)
+	base, _, err := env.simulatePlanned(unconstrainedBudgets(w), false)
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +69,8 @@ func newRunEnv(opts *Options, r int) (*runEnv, error) {
 	if env.baseRT <= 0 {
 		return nil, fmt.Errorf("experiments: non-positive baseline response time")
 	}
+	opts.progressf("run %d: environment ready — %d pages / %d objects, baseline rt %.4gs (%.2fs)",
+		r, w.NumPages(), w.NumObjects(), env.baseRT, time.Since(start).Seconds())
 	return env, nil
 }
 
@@ -99,17 +103,23 @@ func simulateWithConfig(e *runEnv, dec httpsim.Decider, cfg httpsim.Config) (flo
 	return res.CompositeMean(), nil
 }
 
-// simulatePlanned plans the proposed policy under budgets and simulates it.
-func (e *runEnv) simulatePlanned(b model.Budgets, distributedOffload bool) (float64, error) {
+// simulatePlanned plans the proposed policy under budgets and simulates it,
+// returning the composite mean response time plus the plan's statistics
+// (for progress narration and assertions).
+func (e *runEnv) simulatePlanned(b model.Budgets, distributedOffload bool) (float64, *core.Result, error) {
 	env, err := model.NewEnv(e.w, e.est, b)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	p, _, err := core.Plan(env, core.Options{Workers: 1, Distributed: distributedOffload})
+	p, pr, err := core.Plan(env, core.Options{Workers: 1, Distributed: distributedOffload})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return e.simulate(policies.NewStatic("Proposed", p), false)
+	rt, err := e.simulate(policies.NewStatic("Proposed", p), false)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rt, pr, nil
 }
 
 // simulatePlannedWithConfig plans under budgets and simulates with a

@@ -17,6 +17,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// its own rewrite amortizes one computation over all of a page's
 	// objects. The paper's scheme and its ideal-LRU baseline use 0.
 	RemoteRedirectPenalty units.Seconds
+	// Telemetry, when non-nil, receives per-request latency histograms
+	// (httpsim.page_rt_seconds, httpsim.opt_rt_seconds) and chain-split /
+	// request counters from the measured pass, so policy comparisons can
+	// report distributions rather than only means. The nil default adds no
+	// work and no allocation to the request loop.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's simulation parameters for a workload.
@@ -252,6 +259,22 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 		return err
 	}
 
+	// Telemetry instruments, fetched once per pass; all nil (no-op, zero
+	// allocation per request) when disabled or during warmup. Sites run
+	// concurrently, so the instruments' atomics are the synchronization.
+	var pageHist, optHist *telemetry.Histogram
+	var cLocalReq, cRepoReq, cSplit, cLocalOnly, cRemoteOnly *telemetry.Counter
+	if out != nil {
+		reg := cfg.Telemetry
+		pageHist = reg.Histogram("httpsim.page_rt_seconds", telemetry.LatencyBuckets)
+		optHist = reg.Histogram("httpsim.opt_rt_seconds", telemetry.LatencyBuckets)
+		cLocalReq = reg.Counter("httpsim.requests.local")
+		cRepoReq = reg.Counter("httpsim.requests.repo")
+		cSplit = reg.Counter("httpsim.views.split")
+		cLocalOnly = reg.Counter("httpsim.views.local_only")
+		cRemoteOnly = reg.Counter("httpsim.views.remote_only")
+	}
+
 	// Fluid queues for the occupancy extension; the repository queue is
 	// per-site here (each site's runner is independent), which models the
 	// repository as horizontally partitioned per region — the conservative
@@ -313,6 +336,17 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 		}
 
 		pageRT := float64(units.MaxSeconds(localT, remoteT))
+		pageHist.Observe(pageRT)
+		// Chain-split classification of the compulsory set (the HTML
+		// itself is always local, so localReqs > 1 means local objects).
+		switch {
+		case repoReqs > 0 && localReqs > 1:
+			cSplit.Inc()
+		case repoReqs > 0:
+			cRemoteOnly.Inc()
+		default:
+			cLocalOnly.Inc()
+		}
 
 		// Optional follow-ups: the user requests optional objects with the
 		// page's interest probability, then picks the configured fraction
@@ -345,12 +379,15 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 					}
 				}
 				optTotal += float64(t)
+				optHist.Observe(float64(t))
 				if out != nil {
 					out.OptRT.Add(float64(t))
 				}
 			}
 		}
 
+		cLocalReq.Add(localReqs)
+		cRepoReq.Add(repoReqs)
 		if out != nil {
 			out.PageRT.Add(pageRT)
 			out.SitePageRT[i].Add(pageRT)

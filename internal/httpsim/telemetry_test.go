@@ -1,0 +1,88 @@
+package httpsim
+
+import (
+	"testing"
+
+	"repro/internal/policies"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// TestRunTelemetry reconciles the simulator's telemetry against the result:
+// one page-RT observation per view, request counters matching the result's
+// own totals, and the three chain-split counters partitioning the views.
+func TestRunTelemetry(t *testing.T) {
+	w, est := simEnv(t, 46)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 150
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	res, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	views := int64(150 * w.NumSites())
+	var pageHist *telemetry.HistogramPoint
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "httpsim.page_rt_seconds" {
+			pageHist = &snap.Histograms[i]
+		}
+	}
+	if pageHist == nil {
+		t.Fatal("no page RT histogram recorded")
+	}
+	if pageHist.Count != views {
+		t.Errorf("page RT observations = %d, want %d views", pageHist.Count, views)
+	}
+	if diff := pageHist.Mean - res.PageRT.Mean(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("histogram mean %v != accumulator mean %v", pageHist.Mean, res.PageRT.Mean())
+	}
+	if pageHist.P50 <= 0 || pageHist.P99 < pageHist.P50 {
+		t.Errorf("implausible percentiles: p50=%v p99=%v", pageHist.P50, pageHist.P99)
+	}
+
+	if got := snap.CounterValue("httpsim.requests.local"); got != res.LocalRequests {
+		t.Errorf("local request counter = %d, result says %d", got, res.LocalRequests)
+	}
+	if got := snap.CounterValue("httpsim.requests.repo"); got != res.RepoRequests {
+		t.Errorf("repo request counter = %d, result says %d", got, res.RepoRequests)
+	}
+	split := snap.CounterValue("httpsim.views.split")
+	localOnly := snap.CounterValue("httpsim.views.local_only")
+	remoteOnly := snap.CounterValue("httpsim.views.remote_only")
+	if split+localOnly+remoteOnly != views {
+		t.Errorf("chain-split counters %d+%d+%d don't partition %d views",
+			split, localOnly, remoteOnly, views)
+	}
+	// The all-local policy never touches the repository.
+	if split != 0 || remoteOnly != 0 {
+		t.Errorf("Local policy produced split=%d remote_only=%d views", split, remoteOnly)
+	}
+}
+
+// TestRunTelemetryWarmupExcluded keeps warmup passes out of the metrics:
+// with Warmup on, the histogram still holds exactly one observation per
+// measured view.
+func TestRunTelemetryWarmupExcluded(t *testing.T) {
+	w, est := simEnv(t, 47)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 80
+	cfg.Warmup = true
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	if _, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var count int64 = -1
+	for _, h := range snap.Histograms {
+		if h.Name == "httpsim.page_rt_seconds" {
+			count = h.Count
+		}
+	}
+	if want := int64(80 * w.NumSites()); count != want {
+		t.Errorf("page RT observations = %d, want %d (warmup must not count)", count, want)
+	}
+}

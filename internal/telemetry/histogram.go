@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// LatencyBuckets is the default bucket layout for response-time histograms:
+// log-spaced upper bounds from 1 ms to ~65 s (doubling), in seconds. The
+// paper's simulated page times land mid-range; loopback HTTP times land in
+// the low buckets.
+var LatencyBuckets = func() []float64 {
+	b := make([]float64, 17)
+	v := 0.001
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket concurrency-safe histogram: counts per bucket,
+// total count and sum, all atomic, zero allocation per Observe. Bucket i
+// holds observations <= bounds[i]; one overflow bucket catches the rest.
+// The nil Histogram is a valid no-op sink.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram from sorted bucket upper bounds (a copy is
+// taken). Empty bounds yield a single overflow bucket (count/sum only).
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation. No-op on nil; NaN is ignored.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the mean observation (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile returns the p-quantile (p in [0,1]) estimated by linear
+// interpolation inside the bucket holding the target rank — the fixed-bucket
+// analogue of stats.Sample.Percentile, computed by stats.BucketQuantile.
+// Returns 0 when empty or nil.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return stats.BucketQuantile(h.bounds, counts, p)
+}
+
+// bucketCounts snapshots the per-bucket counts (for encoders).
+func (h *Histogram) bucketCounts() []int64 {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts
+}

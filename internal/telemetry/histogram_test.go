@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestHistogramMoments(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 3, 6, 20} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 31.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	if got, want := h.Mean(), 31.0/5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramQuantileTracksSample checks the fixed-bucket quantiles
+// against the exact retained-sample percentiles within a bucket width.
+func TestHistogramQuantileTracksSample(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	var exact stats.Sample
+	// A deterministic skewed sequence across several buckets.
+	v := 0.0015
+	for i := 0; i < 2000; i++ {
+		h.Observe(v)
+		exact.Add(v)
+		v *= 1.002
+		if v > 0.1 {
+			v = 0.0015
+		}
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(p)
+		want := exact.Percentile(p)
+		// The estimate must land within the bucket containing the exact
+		// value (buckets double, so within a factor of 2).
+		if got < want/2 || got > want*2 {
+			t.Errorf("p%.0f: bucket quantile %g too far from exact %g", p*100, got, want)
+		}
+	}
+}
+
+func TestBucketQuantileEdges(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	counts := []int64{0, 10, 0, 0}
+	// All mass in (1,2]: every quantile interpolates inside that bucket.
+	if q := stats.BucketQuantile(bounds, counts, 0.5); q < 1 || q > 2 {
+		t.Errorf("mid quantile %g outside (1,2]", q)
+	}
+	if q := stats.BucketQuantile(bounds, counts, 0); q < 1 || q > 2 {
+		t.Errorf("p0 %g outside bucket", q)
+	}
+	// Overflow-only mass clamps to the last bound.
+	if q := stats.BucketQuantile(bounds, []int64{0, 0, 0, 5}, 0.9); q != 4 {
+		t.Errorf("overflow quantile = %g, want 4", q)
+	}
+	// Empty histogram.
+	if q := stats.BucketQuantile(bounds, []int64{0, 0, 0, 0}, 0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.02)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates: %v allocs/op", allocs)
+	}
+}

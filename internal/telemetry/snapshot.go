@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of a registry's instruments, ordered by
+// name so encodings are deterministic and diffable.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// CounterPoint is one counter's snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugePoint is one gauge's snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramPoint is one histogram's snapshot: moments, the standard
+// percentiles, and the populated buckets.
+type HistogramPoint struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Mean    float64       `json:"mean"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketPoint `json:"buckets,omitempty"`
+}
+
+// BucketPoint is one populated histogram bucket: its upper bound (+Inf is
+// encoded as 0 count omission — the overflow bucket appears with Le == 0 and
+// Overflow == true) and count.
+type BucketPoint struct {
+	Le       float64 `json:"le"`
+	Count    int64   `json:"count"`
+	Overflow bool    `json:"overflow,omitempty"`
+}
+
+// Snapshot copies the registry's current state. An empty (never nil)
+// snapshot is returned for a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{Counters: []CounterPoint{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.counterNames() {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: r.counters[name].Value()})
+	}
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: r.gauges[name].Value()})
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := r.hists[name]
+		hp := HistogramPoint{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+		counts := h.bucketCounts()
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			bp := BucketPoint{Count: c}
+			if i < len(h.bounds) {
+				bp.Le = h.bounds[i]
+			} else {
+				bp.Overflow = true
+			}
+			hp.Buckets = append(hp.Buckets, bp)
+		}
+		s.Histograms = append(s.Histograms, hp)
+	}
+	return s
+}
+
+// WriteJSON encodes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as aligned name/value lines.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%-40s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%-40s %g\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "%-40s n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g\n",
+			h.Name, h.Count, h.Mean, h.P50, h.P90, h.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CounterValue returns a snapshot counter by name (0 when absent).
+func (s *Snapshot) CounterValue(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Handler serves the registry as a JSON snapshot — the /metrics endpoint.
+// A nil registry serves empty snapshots.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

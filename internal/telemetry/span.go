@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is a nestable phase timer: it records a wall-clock interval, an
+// optional "busy" accumulator for work spread across concurrent goroutines
+// (the per-site planning phases overlap in time, so their busy time can
+// exceed the wall time), named counters, and child spans. All mutation is
+// concurrency-safe; the nil Span is a valid no-op sink, so traced code
+// needs no separate disabled path.
+type Span struct {
+	name  string
+	start time.Time
+	wall  atomic.Int64 // ns, set by End (0 while running)
+	busy  atomic.Int64 // ns, accumulated by AddBusy
+
+	mu           sync.Mutex
+	children     []*Span
+	counterNames []string
+	counters     map[string]*Counter
+}
+
+// NewSpan starts a new root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a new child span under s. Returns nil on a nil span, so a
+// disabled trace propagates for free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its wall duration. Idempotent; no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.wall.CompareAndSwap(0, int64(time.Since(s.start)))
+}
+
+// AddBusy accumulates concurrent busy time into the span. No-op on nil.
+func (s *Span) AddBusy(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.busy.Add(int64(d))
+}
+
+// Count adds n to the span's named counter, creating it on first use.
+// No-op on nil.
+func (s *Span) Count(name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]*Counter)
+	}
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+		s.counterNames = append(s.counterNames, name)
+	}
+	s.mu.Unlock()
+	c.Add(n)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Wall returns the span's wall duration: the closed interval, or the time
+// since start if still running. 0 on nil.
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if w := s.wall.Load(); w != 0 {
+		return time.Duration(w)
+	}
+	return time.Since(s.start)
+}
+
+// Busy returns the accumulated busy time (0 on nil).
+func (s *Span) Busy() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.busy.Load())
+}
+
+// CounterValue returns the named counter's value (0 when absent or nil).
+func (s *Span) CounterValue(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	c := s.counters[name]
+	s.mu.Unlock()
+	return c.Value()
+}
+
+// SpanCounter is one named span counter's value, as returned by Counters.
+type SpanCounter struct {
+	Name  string
+	Value int64
+}
+
+// Counters returns the span's counters in creation order (nil on nil).
+func (s *Span) Counters() []SpanCounter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SpanCounter, 0, len(s.counterNames))
+	for _, name := range s.counterNames {
+		out = append(out, SpanCounter{Name: name, Value: s.counters[name].Value()})
+	}
+	return out
+}
+
+// Children returns the child spans in creation order (nil on nil).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	s.mu.Unlock()
+	return out
+}
+
+// Find returns the first child with the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	for _, c := range s.Children() {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Events returns the number of trace events in the tree: one per span plus
+// one per counter. Two traces of the same deterministic computation must
+// report identical event counts regardless of worker scheduling.
+func (s *Span) Events() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	n := 1 + len(s.counterNames)
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		n += c.Events()
+	}
+	return n
+}
+
+// Write renders the span tree, one line per span with durations and
+// counters:
+//
+//	plan                wall=1.8ms
+//	  partition         wall=1.2ms busy=4.3ms  [pages=4123]
+func (s *Span) Write(w io.Writer) error {
+	return s.write(w, 0)
+}
+
+func (s *Span) write(w io.Writer, depth int) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	line := fmt.Sprintf("%*s%-*s wall=%s", depth*2, "", 22-depth*2, s.name, fmtDuration(s.Wall()))
+	if b := s.busy.Load(); b != 0 {
+		line += fmt.Sprintf(" busy=%s", fmtDuration(time.Duration(b)))
+	}
+	if len(s.counterNames) > 0 {
+		line += "  ["
+		for i, name := range s.counterNames {
+			if i > 0 {
+				line += " "
+			}
+			line += fmt.Sprintf("%s=%d", name, s.counters[name].Value())
+		}
+		line += "]"
+	}
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, c := range kids {
+		if err := c.write(w, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDuration rounds a duration to a readable precision.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("plan")
+	part := root.Child("partition")
+	part.Count("pages", 41)
+	part.AddBusy(3 * time.Millisecond)
+	part.End()
+	store := root.Child("storage-restore")
+	store.Count("deallocs", 7)
+	store.End()
+	root.End()
+
+	if got := root.Find("partition"); got != part {
+		t.Fatal("Find did not return the child")
+	}
+	if got := part.CounterValue("pages"); got != 41 {
+		t.Errorf("pages counter = %d, want 41", got)
+	}
+	if part.Busy() != 3*time.Millisecond {
+		t.Errorf("busy = %v", part.Busy())
+	}
+	if root.Wall() <= 0 {
+		t.Error("root wall not positive after End")
+	}
+	// 3 spans + 2 counters.
+	if got := root.Events(); got != 5 {
+		t.Errorf("Events = %d, want 5", got)
+	}
+
+	var buf bytes.Buffer
+	if err := root.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"plan", "partition", "storage-restore", "pages=41", "deallocs=7", "wall=", "busy="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanNilIsNoOp(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Count("n", 1)
+		s.AddBusy(time.Millisecond)
+		s.End()
+		c.Count("n", 1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil span allocates: %v allocs/op", allocs)
+	}
+	if s.Events() != 0 || s.Wall() != 0 || s.Name() != "" || s.CounterValue("n") != 0 {
+		t.Error("nil span returned non-zero state")
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil || buf.Len() != 0 {
+		t.Error("nil span wrote output")
+	}
+}
+
+// TestSpanConcurrent exercises concurrent child creation and counting — run
+// under -race by ci.sh.
+func TestSpanConcurrent(t *testing.T) {
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				root.Count("ops", 1)
+				root.AddBusy(time.Microsecond)
+			}
+			c := root.Child("worker")
+			c.Count("done", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := root.CounterValue("ops"); got != 8*200 {
+		t.Errorf("ops = %d, want %d", got, 8*200)
+	}
+	if got := len(root.Children()); got != 8 {
+		t.Errorf("children = %d, want 8", got)
+	}
+	// 1 root + 1 root counter + 8 children with 1 counter each.
+	if got := root.Events(); got != 1+1+8*2 {
+		t.Errorf("Events = %d, want %d", got, 1+1+8*2)
+	}
+}

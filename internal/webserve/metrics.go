@@ -1,0 +1,65 @@
+package webserve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/telemetry"
+)
+
+// ClusterOptions controls the optional observability wiring of a cluster.
+type ClusterOptions struct {
+	// Metrics registers per-site request/byte/hit-miss counters in a
+	// cluster-wide registry and serves it as a JSON snapshot at /metrics on
+	// every server (the repository and each site).
+	Metrics bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ on every server mux.
+	// Requires Metrics-independent opt-in: profiling endpoints expose
+	// internals and cost a mux lookup per request.
+	Pprof bool
+}
+
+// setTelemetry hooks the repository's counters into the registry. A nil
+// registry leaves the nil no-op counters in place.
+func (r *Repository) setTelemetry(reg *telemetry.Registry) {
+	r.cRequests = reg.Counter("repo.mo_requests")
+	r.cBytes = reg.Counter("repo.bytes")
+	r.cMisses = reg.Counter("repo.misses")
+}
+
+// siteCounterPrefix names the registry namespace of one site's counters.
+func siteCounterPrefix(site int) string {
+	return fmt.Sprintf("site.%d.", site)
+}
+
+// setTelemetry hooks the site's counters into the registry.
+func (s *LocalServer) setTelemetry(reg *telemetry.Registry) {
+	prefix := siteCounterPrefix(int(s.site))
+	s.cPages = reg.Counter(prefix + "page_requests")
+	s.cMOs = reg.Counter(prefix + "mo_requests")
+	s.cBytes = reg.Counter(prefix + "bytes")
+	s.cMisses = reg.Counter(prefix + "misses")
+}
+
+// wrapMux wraps a handler with the optional /metrics and /debug/pprof/
+// routes. With neither enabled the bare handler is returned — no mux on the
+// serving path.
+func wrapMux(h http.Handler, reg *telemetry.Registry, withPprof bool) http.Handler {
+	if reg == nil && !withPprof {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	if reg != nil {
+		mux.Handle("/metrics", telemetry.Handler(reg))
+	}
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/htmlrefs"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -18,6 +19,9 @@ import (
 type Repository struct {
 	w        *workload.Workload
 	requests atomic.Int64
+
+	// Telemetry counters; nil (no-op) unless the cluster enables metrics.
+	cRequests, cBytes, cMisses *telemetry.Counter
 }
 
 // NewRepository builds the repository handler.
@@ -32,10 +36,13 @@ func (r *Repository) Requests() int64 { return r.requests.Load() }
 func (r *Repository) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 	k, ok := htmlrefs.ParseMOPath(req.URL.Path)
 	if !ok || int(k) >= r.w.NumObjects() {
+		r.cMisses.Inc()
 		http.NotFound(rw, req)
 		return
 	}
 	r.requests.Add(1)
+	r.cRequests.Inc()
+	r.cBytes.Add(int64(r.w.ObjectSize(k)))
 	rw.Header().Set("Content-Type", "application/octet-stream")
 	rw.Header().Set("Content-Length", strconv.FormatInt(int64(r.w.ObjectSize(k)), 10))
 	io.Copy(rw, ObjectReader(r.w, k))
@@ -59,6 +66,9 @@ type LocalServer struct {
 	pageHits  sync.Map // workload.PageID -> *atomic.Int64
 	moHits    atomic.Int64
 	pageCount atomic.Int64
+
+	// Telemetry counters; nil (no-op) unless the cluster enables metrics.
+	cPages, cMOs, cBytes, cMisses *telemetry.Counter
 }
 
 // NewLocalServer builds the site's handler from a placement. repoBase is
@@ -129,29 +139,44 @@ func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 	if j, ok := htmlrefs.ParsePagePath(req.URL.Path); ok {
 		doc, ok := s.db.Serve(j, s.Base())
 		if !ok {
+			s.cMisses.Inc()
 			http.NotFound(rw, req)
 			return
 		}
 		s.countPage(j)
+		s.cPages.Inc()
+		s.cBytes.Add(int64(len(doc)))
 		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
 		rw.Header().Set("Content-Length", strconv.Itoa(len(doc)))
 		rw.Write(doc)
 		return
 	}
 	if k, ok := htmlrefs.ParseMOPath(req.URL.Path); ok {
+		if int(k) >= s.w.NumObjects() {
+			s.cMisses.Inc()
+			http.NotFound(rw, req)
+			return
+		}
 		s.mu.RLock()
 		stored := s.placement.IsStored(s.site, k)
 		s.mu.RUnlock()
 		if !stored {
+			// A miss here means a client asked for an unreplicated object —
+			// the placement is authoritative, so this counts as a hit-miss
+			// event, not a routing bug.
+			s.cMisses.Inc()
 			http.NotFound(rw, req)
 			return
 		}
 		s.moHits.Add(1)
+		s.cMOs.Inc()
+		s.cBytes.Add(int64(s.w.ObjectSize(k)))
 		rw.Header().Set("Content-Type", "application/octet-stream")
 		rw.Header().Set("Content-Length", strconv.FormatInt(int64(s.w.ObjectSize(k)), 10))
 		io.Copy(rw, ObjectReader(s.w, k))
 		return
 	}
+	s.cMisses.Inc()
 	http.NotFound(rw, req)
 }
 
@@ -165,15 +190,31 @@ type Cluster struct {
 	SiteBases  []string
 	httpServer []*http.Server
 	closers    []func() error
+
+	// Metrics is the cluster-wide registry behind every server's /metrics
+	// endpoint; nil unless ClusterOptions.Metrics was set.
+	Metrics *telemetry.Registry
 }
 
 // StartCluster listens on ephemeral loopback ports for the repository and
-// every site, serving under the given placement. Call Close when done.
+// every site, serving under the given placement with no observability
+// extras. Call Close when done.
 func StartCluster(w *workload.Workload, p *model.Placement) (*Cluster, error) {
+	return StartClusterOptions(w, p, ClusterOptions{})
+}
+
+// StartClusterOptions is StartCluster with the observability wiring of
+// ClusterOptions: a shared metrics registry served at /metrics on every
+// server, and optional pprof endpoints.
+func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterOptions) (*Cluster, error) {
 	c := &Cluster{W: w}
+	if opts.Metrics {
+		c.Metrics = telemetry.NewRegistry()
+	}
 
 	repo := NewRepository(w)
-	repoBase, stop, err := serve(repo)
+	repo.setTelemetry(c.Metrics)
+	repoBase, stop, err := serve(repo, c.Metrics, opts.Pprof)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +228,8 @@ func StartCluster(w *workload.Workload, p *model.Placement) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		base, stop, err := serve(ls)
+		ls.setTelemetry(c.Metrics)
+		base, stop, err := serve(ls, c.Metrics, opts.Pprof)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -201,13 +243,14 @@ func StartCluster(w *workload.Workload, p *model.Placement) (*Cluster, error) {
 }
 
 // serve starts an http.Server on an ephemeral loopback port and returns its
-// base URL and a stopper.
-func serve(h http.Handler) (base string, stop func() error, err error) {
+// base URL and a stopper. A non-nil registry adds /metrics (and optionally
+// pprof) routes in front of the handler.
+func serve(h http.Handler, reg *telemetry.Registry, withPprof bool) (base string, stop func() error, err error) {
 	ln, err := listenLoopback()
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: h}
+	srv := &http.Server{Handler: wrapMux(h, reg, withPprof)}
 	go srv.Serve(ln)
 	return fmt.Sprintf("http://%s", ln.Addr().String()), srv.Close, nil
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/policies"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -303,6 +304,33 @@ func PeriodStudy(opts ExperimentOptions) (*Figure, error) {
 // trade-off under tight storage.
 func WeightsStudy(opts ExperimentOptions) (*Figure, error) {
 	return experiments.WeightsStudy(opts)
+}
+
+// Telemetry: the instrumentation substrate (internal/telemetry).
+type (
+	// Span is a nestable concurrency-safe phase timer; pass one as
+	// PlanOptions.Trace to trace the planner's phases. The nil Span is a
+	// valid no-op sink.
+	Span = telemetry.Span
+	// MetricsRegistry names and owns counters, gauges and latency
+	// histograms; pass one as SimConfig.Telemetry for per-request
+	// distributions. The nil registry disables instrumentation for free.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time, deterministic-order copy of a
+	// registry (the /metrics JSON payload).
+	MetricsSnapshot = telemetry.Snapshot
+)
+
+// NewSpan starts a new root tracing span.
+func NewSpan(name string) *Span { return telemetry.NewSpan(name) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// ProgressWriter returns an ExperimentOptions.Progress sink writing one
+// line per harness event to w, serialized across concurrent runs.
+func ProgressWriter(w io.Writer) func(format string, args ...interface{}) {
+	return experiments.ProgressWriter(w)
 }
 
 // NewThresholdPolicy returns the threshold-driven dynamic replication

@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite with -benchmem and write the results as
+# machine-readable JSON to BENCH_<stamp>.json in the repo root, so successive
+# runs can be diffed for ns/op and allocs/op regressions (the telemetry layer
+# must stay free when disabled — watch allocs/op on the planner/simulator
+# benchmarks in particular).
+#
+# Usage:
+#
+#	scripts/bench.sh [bench-regexp] [benchtime]
+#
+# bench-regexp defaults to '.' (everything); benchtime to 1x (one pass — raise
+# to e.g. 2s for stable ns/op numbers).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${2:-1x}"
+stamp=$(date -u +%Y%m%dT%H%M%SZ)
+out="BENCH_${stamp}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench=$pattern -benchmem -benchtime=$benchtime =="
+go test -bench="$pattern" -benchmem -benchtime="$benchtime" -run='^$' ./... | tee "$raw"
+
+# Turn the standard benchmark lines
+#   BenchmarkName-8  10  12345 ns/op  678 B/op  9 allocs/op
+# (interleaved with "pkg: ..." headers) into a JSON document.
+awk -v stamp="$stamp" -v goversion="$(go version)" -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"stamp\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", stamp, goversion, benchtime
+    n = 0
+}
+$1 == "pkg:" { pkg = $2 }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes  = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) printf ","
+    printf "\n    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", pkg, name, $2, $3, bytes, allocs
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$out"
+
+count=$(grep -c '"name"' "$out" || true)
+echo ""
+echo "wrote $count benchmark results to $out"

@@ -24,9 +24,12 @@ echo "== tests =="
 go test ./...
 
 echo "== race (concurrent packages) =="
-go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/
+go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/ ./internal/telemetry/ ./internal/accesslog/
 
 echo "== benchmarks (one pass) =="
 go test -bench=. -benchmem -benchtime=1x -run='^$' ./...
+
+echo "== metrics endpoint smoke =="
+go test -count=1 -run TestMetricsEndpoint ./internal/webserve/
 
 echo "CI OK"
