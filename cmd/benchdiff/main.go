@@ -1,0 +1,151 @@
+// Command benchdiff compares two benchmark result files written by
+// scripts/bench.sh and fails when a watched benchmark regressed.
+//
+// Usage:
+//
+//	benchdiff [-threshold PCT] [-filter regexp] [-min-ns N] old.json new.json
+//
+// Benchmarks are matched by package + name. Every matched pair is printed
+// with its ns/op delta; pairs whose name matches -filter (default: the
+// planner series Plan|Partition|Offload|Scratch) are *gated* — if any gated
+// pair's ns/op grew by more than -threshold percent (default 15), benchdiff
+// exits 1. Benchmarks present in only one file are reported but never fail
+// the run. -min-ns (default 100000) exempts sub-100µs benchmarks from the
+// gate: at the single-pass benchtime CI uses, their timings are noise.
+//
+// scripts/benchdiff.sh wraps this with "newest two BENCH_*.json" discovery;
+// scripts/ci.sh runs it after the benchmark stage, warn-only locally and
+// fatal in the CI workflow (CI_BENCHDIFF_FATAL=1).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// benchFile mirrors the JSON document bench.sh writes.
+type benchFile struct {
+	Stamp      string      `json:"stamp"`
+	Go         string      `json:"go"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	Package     string   `json:"package"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func (b benchLine) key() string { return b.Package + "." + b.Name }
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// diff compares old and new results, writes the report to w and returns the
+// gated benchmark names whose ns/op regressed beyond thresholdPct.
+func diff(w io.Writer, oldF, newF *benchFile, gate *regexp.Regexp, thresholdPct, minNs float64) []string {
+	oldBy := map[string]benchLine{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.key()] = b
+	}
+
+	fmt.Fprintf(w, "old: %s (%s)\nnew: %s (%s)\n\n", oldF.Stamp, oldF.Benchtime, newF.Stamp, newF.Benchtime)
+	fmt.Fprintf(w, "%-64s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+
+	var regressed []string
+	seen := map[string]bool{}
+	for _, nb := range newF.Benchmarks {
+		seen[nb.key()] = true
+		ob, ok := oldBy[nb.key()]
+		if !ok {
+			fmt.Fprintf(w, "%-64s %14s %14.0f %8s\n", nb.key(), "-", nb.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		mark := ""
+		if gate.MatchString(nb.Name) {
+			if nb.NsPerOp >= minNs && delta > thresholdPct {
+				mark = "  REGRESSED"
+				regressed = append(regressed, nb.key())
+			} else {
+				mark = "  gated"
+			}
+		}
+		fmt.Fprintf(w, "%-64s %14.0f %14.0f %+7.1f%%%s\n", nb.key(), ob.NsPerOp, nb.NsPerOp, delta, mark)
+	}
+	var gone []string
+	for k := range oldBy {
+		if !seen[k] {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Fprintf(w, "%-64s %14.0f %14s %8s\n", k, oldBy[k].NsPerOp, "-", "gone")
+	}
+	return regressed
+}
+
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 15, "fail when a gated benchmark's ns/op grows by more than this percentage")
+	filter := fs.String("filter", "Plan|Partition|Offload|Scratch", "regexp selecting the gated benchmark names")
+	minNs := fs.Float64("min-ns", 100000, "gate only benchmarks at or above this many ns/op (smaller ones are timing noise at 1x)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("want exactly two arguments: old.json new.json")
+	}
+	gate, err := regexp.Compile(*filter)
+	if err != nil {
+		return 2, fmt.Errorf("bad -filter: %w", err)
+	}
+	oldF, err := load(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	newF, err := load(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	regressed := diff(stdout, oldF, newF, gate, *threshold, *minNs)
+	if len(regressed) > 0 {
+		fmt.Fprintf(stdout, "\n%d gated benchmark(s) regressed beyond %.0f%%:\n", len(regressed), *threshold)
+		for _, k := range regressed {
+			fmt.Fprintf(stdout, "  %s\n", k)
+		}
+		return 1, nil
+	}
+	fmt.Fprintf(stdout, "\nno gated regression beyond %.0f%%\n", *threshold)
+	return 0, nil
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, stamp string, entries ...string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	doc := `{"stamp": "` + stamp + `", "go": "go test", "benchtime": "1x", "benchmarks": [` +
+		strings.Join(entries, ",") + `]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func entry(pkg, name string, ns float64) string {
+	return fmt.Sprintf(`{"package": %q, "name": %q, "iterations": 1, "ns_per_op": %g, "bytes_per_op": null, "allocs_per_op": null}`,
+		pkg, name, ns)
+}
+
+func TestBenchdiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.json", "A",
+		entry("repro/internal/core", "BenchmarkPlan/workers=1", 1e7),
+		entry("repro", "BenchmarkGenerate", 5e6))
+	cur := writeBench(t, dir, "new.json", "B",
+		entry("repro/internal/core", "BenchmarkPlan/workers=1", 1.1e7), // +10% < 15%
+		entry("repro", "BenchmarkGenerate", 9e6))                       // +80% but not gated
+
+	var out strings.Builder
+	code, err := run([]string{old, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no gated regression") {
+		t.Errorf("missing pass line:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffFailsOnGatedRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.json", "A",
+		entry("repro/internal/core", "BenchmarkPlan/workers=4", 1e7))
+	cur := writeBench(t, dir, "new.json", "B",
+		entry("repro/internal/core", "BenchmarkPlan/workers=4", 1.3e7)) // +30%
+
+	var out strings.Builder
+	code, err := run([]string{old, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("missing REGRESSED mark:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffMinNsExemptsNoise(t *testing.T) {
+	dir := t.TempDir()
+	// A 2µs benchmark doubling is single-pass timing noise, not a regression.
+	old := writeBench(t, dir, "old.json", "A",
+		entry("repro/internal/core", "BenchmarkScratchBuild", 2000))
+	cur := writeBench(t, dir, "new.json", "B",
+		entry("repro/internal/core", "BenchmarkScratchBuild", 4000))
+
+	var out strings.Builder
+	code, err := run([]string{old, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+}
+
+func TestBenchdiffAddedAndRemovedAreReported(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBench(t, dir, "old.json", "A",
+		entry("repro/internal/core", "BenchmarkOffloadParallel/workers=1", 1e7),
+		entry("repro", "BenchmarkGone", 1e6))
+	cur := writeBench(t, dir, "new.json", "B",
+		entry("repro/internal/core", "BenchmarkOffloadParallel/workers=1", 1e7),
+		entry("repro", "BenchmarkAdded", 1e6))
+
+	var out strings.Builder
+	code, err := run([]string{old, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"BenchmarkAdded", "new", "BenchmarkGone", "gone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBenchdiffUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if code, err := run([]string{"only-one.json"}, &out); code != 2 || err == nil {
+		t.Errorf("one arg: code %d err %v, want 2 and error", code, err)
+	}
+	if code, err := run([]string{"-filter", "(", "a.json", "b.json"}, &out); code != 2 || err == nil {
+		t.Errorf("bad filter: code %d err %v, want 2 and error", code, err)
+	}
+	if code, err := run([]string{"missing-a.json", "missing-b.json"}, &out); code != 2 || err == nil {
+		t.Errorf("missing files: code %d err %v, want 2 and error", code, err)
+	}
+}

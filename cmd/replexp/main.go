@@ -138,6 +138,7 @@ func run(args []string, stdout io.Writer) error {
 	runs := fs.Int("runs", 0, "override the number of runs")
 	seed := fs.Uint64("seed", 0, "override the experiment seed")
 	requests := fs.Int("requests", 0, "override page requests per site")
+	planWorkers := fs.Int("plan-workers", 0, "worker pool size inside each planning call; 0 = 1 (runs already parallelize; plans are identical for any value)")
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	plot := fs.Bool("plot", false, "also render figures as text charts")
 	progress := fs.Bool("progress", true, "narrate run setup and sweep-point completion to stderr")
@@ -159,6 +160,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *requests > 0 {
 		opts.RequestsPerSite = *requests
+	}
+	if *planWorkers > 0 {
+		opts.PlanWorkers = *planWorkers
 	}
 	if *progress {
 		opts.Progress = repro.ProgressWriter(os.Stderr)

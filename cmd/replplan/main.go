@@ -6,8 +6,8 @@
 // Usage:
 //
 //	replplan [-w workload.json] [-seed N] [-scale paper|small]
-//	         [-storage F] [-capacity F] [-repo F] [-verbose] [-trace]
-//	         [-o placement.json]
+//	         [-storage F] [-capacity F] [-repo F] [-workers N]
+//	         [-verbose] [-trace] [-o placement.json]
 //
 // -storage and -capacity scale the sites' budgets (1 = 100 %); -repo caps
 // the repository at that fraction of the workload the sites' pre-offload
@@ -32,6 +32,7 @@ func run(args []string, stdout io.Writer) error {
 	storage := fs.Float64("storage", 1, "storage budget fraction (MO part)")
 	capacity := fs.Float64("capacity", 1, "site processing capacity fraction")
 	repo := fs.Float64("repo", 0, "repository capacity as a fraction of the pre-offload load; 0 = unconstrained")
+	workers := fs.Int("workers", 0, "planning worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical plan either way)")
 	verbose := fs.Bool("verbose", false, "print the off-loading protocol messages")
 	trace := fs.Bool("trace", false, "print the per-phase planner span tree (durations, flip/dealloc counters)")
 	out := fs.String("o", "", "write the planned placement as JSON to this path (replayable by replsim -p)")
@@ -69,7 +70,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		pp, _, err := repro.Plan(probeEnv, repro.PlanOptions{})
+		pp, _, err := repro.Plan(probeEnv, repro.PlanOptions{Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -91,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 	if *trace {
 		span = repro.NewSpan("plan")
 	}
-	placement, result, err := repro.Plan(env, repro.PlanOptions{Distributed: true, MessageLog: log, Trace: span})
+	placement, result, err := repro.Plan(env, repro.PlanOptions{Workers: *workers, Distributed: true, MessageLog: log, Trace: span})
 	if err != nil {
 		return err
 	}

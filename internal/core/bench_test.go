@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// benchEnv builds a Table-1-scale environment once per benchmark (workload
+// generation is benchmarked at the repo root, not here).
+func benchEnv(b *testing.B) *model.Env {
+	b.Helper()
+	w, err := workload.Generate(workload.DefaultConfig(), 2026)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := netsim.DrawEstimates(netsim.DefaultConfig(), w.NumSites(), rng.New(2026))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := model.NewEnv(w, est, model.FullBudgets(w))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// benchWorkerCounts is the ladder the scaling benches sweep: sequential,
+// a typical small pool, and everything the machine has.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkPlan measures the full planning pipeline — page-pool PARTITION,
+// per-site restoration, off-loading coordinator — across worker counts on
+// the Table-1 workload. The benchdiff CI gate watches these series.
+func BenchmarkPlan(b *testing.B) {
+	env := benchEnv(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Plan(env, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanConstrainedWorkers runs both restoration loops (30 %
+// storage, 50 % capacity) across worker counts — the restoration pool is
+// per-site, so this exposes the site-count ceiling of phase 2.
+func BenchmarkPlanConstrainedWorkers(b *testing.B) {
+	env := benchEnv(b)
+	env.Budgets = env.Budgets.Scale(env.W, 0.3, 0.5)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Plan(env, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionParallel isolates the page-pool PARTITION phase plus
+// its deterministic reduce.
+func BenchmarkPartitionParallel(b *testing.B) {
+	env := benchEnv(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pl := NewPlanner(env)
+				pl.PartitionParallel(workers, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkOffloadParallel isolates the negotiation with concurrent
+// scratch-planner scoring, repository capped at 60 % of the pre-offload
+// load so several rounds of AcceptWorkload run.
+func BenchmarkOffloadParallel(b *testing.B) {
+	env := benchEnv(b)
+	base := NewPlanner(env)
+	base.PartitionParallel(runtime.NumCPU(), nil)
+	for i := range env.W.Sites {
+		base.RestoreStorageSite(workload.SiteID(i))
+		base.RestoreProcessingSite(workload.SiteID(i))
+	}
+	pre := float64(base.RepoLoad())
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				env.Budgets.RepoCapacity = model.Infinite()
+				pl := NewPlanner(env)
+				pl.PartitionParallel(runtime.NumCPU(), nil)
+				for s := range env.W.Sites {
+					pl.RestoreStorageSite(workload.SiteID(s))
+					pl.RestoreProcessingSite(workload.SiteID(s))
+				}
+				env.Budgets.RepoCapacity = units.ReqPerSec(pre * 0.6)
+				b.StartTimer()
+				st := pl.OffloadParallel(nil, workers, nil)
+				if !st.Restored {
+					b.Fatal("offload failed")
+				}
+			}
+			env.Budgets.RepoCapacity = model.Infinite()
+		})
+	}
+}
+
+// BenchmarkScratchBuild prices one per-site scratch planner construction —
+// the per-dispatch overhead the off-loading scoring pool pays.
+func BenchmarkScratchBuild(b *testing.B) {
+	env := benchEnv(b)
+	pl := NewPlanner(env)
+	pl.PartitionParallel(runtime.NumCPU(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := pl.scratchFor(workload.SiteID(i % env.W.NumSites()))
+		if sc == nil {
+			b.Fatal("nil scratch")
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Parallel planning engine. Three pieces let Plan scale to all cores while
+// staying deterministic:
+//
+//   - PartitionParallel fans the PARTITION phase out over a page-level
+//     worker pool. Partitioning one page touches only page-local state (its
+//     placement row, byte counts and cached chain time), so workers need no
+//     locks; each records its page's site-level contribution in a deltas
+//     array, and a per-site reduce folds those contributions into the
+//     planner's accumulators in the site's fixed page order. Float
+//     accumulation order is therefore a function of the workload alone —
+//     never of the worker count or the scheduler — so any Workers value
+//     produces byte-identical placements and an identical D.
+//
+//   - scratchFor/commitScratch give the off-loading negotiation per-site
+//     scratch planners: copy-on-write views of the placement's X/X' rows
+//     plus private copies of the site-local accumulators. Candidate
+//     flips/swaps are scored (and tentatively applied) concurrently on the
+//     scratches; the coordinator then adopts each site's outcome serially.
+//     Distinct sites touch disjoint planner state, so the scratch outcome is
+//     bit-identical to running the same AcceptWorkload sequentially.
+//
+//   - The Planner's pageT / optLocalT / optRemoteT caches (planner.go) make
+//     each concurrent evaluation cheap: flip scoring reads the cached
+//     whole-page time and the precomputed per-link one-download times
+//     instead of recomputing them per candidate.
+package core
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// partitionDelta is one page's contribution to its site's accumulators: the
+// Eq. 7 objective deltas and the request rate moved from the repository to
+// the local server by the page's PARTITION outcome.
+type partitionDelta struct {
+	d1    float64 // α1-side objective change, f·(T_new − T_old)
+	d2    float64 // α2-side objective change over the page's optional links
+	moved float64 // req/s moved local (added to Eq. 8, removed from Eq. 9)
+}
+
+// partitionPageScratch runs the PARTITION decision loop on page j, touching
+// only page-local state: the page's placement row, its byte counts and its
+// cached chain time. Site-level accounting is returned as a delta for the
+// deterministic per-site reduce. The page must still be in its all-remote
+// initial state. buf is the caller's reusable visit-order scratch buffer.
+//
+// The decision arithmetic — the running chain times and their comparison —
+// is expression-for-expression the one in partitionPage, so the chosen split
+// is identical to the sequential planner's.
+func (pl *Planner) partitionPageScratch(j workload.PageID, buf *[]int) partitionDelta {
+	pg := &pl.env.W.Pages[j]
+	est := pl.siteEstimateOf(pg.Site)
+	f := float64(pg.Freq)
+	oldT := pl.pageT[j]
+
+	order := (*buf)[:0]
+	for idx := range pg.Compulsory {
+		order = append(order, idx)
+	}
+	if !pl.UnsortedPartition {
+		sort.Slice(order, func(a, b int) bool {
+			sa := pl.env.W.ObjectSize(pg.Compulsory[order[a]])
+			sb := pl.env.W.ObjectSize(pg.Compulsory[order[b]])
+			if sa != sb {
+				return sa > sb // decreasing size
+			}
+			return order[a] < order[b] // stable tie-break for determinism
+		})
+	}
+	*buf = order
+
+	local := est.LocalOvhd + est.LocalRate.TransferTime(pg.HTMLSize)
+	remote := est.RepoOvhd
+	var localB units.ByteSize
+	nLocal := 0
+	for _, idx := range order {
+		size := pl.env.W.ObjectSize(pg.Compulsory[idx])
+		remoteIf := remote + est.RepoRate.TransferTime(size)
+		localIf := local + est.LocalRate.TransferTime(size)
+		if remoteIf < localIf {
+			remote = remoteIf // stays on the repository chain (X bit is 0)
+		} else {
+			local = localIf
+			pl.p.SetCompLocal(j, idx, true)
+			localB += size
+			nLocal++
+		}
+	}
+	pl.localBytes[j] += localB
+	pl.remoteBytes[j] -= localB
+
+	// Section 4.2 "store all optional objects": every optional link is
+	// marked local; the replica allocation happens in the reduce.
+	var d2, optMoved float64
+	off := pl.optOff[j]
+	for idx, l := range pg.Optional {
+		pl.p.SetOptLocal(j, idx, true)
+		d2 += f * l.Prob * float64(pl.optLocalT[off+idx]-pl.optRemoteT[off+idx])
+		optMoved += f * l.Prob
+	}
+
+	newT := pl.computePageTime(j)
+	pl.pageT[j] = newT
+	return partitionDelta{
+		d1:    f * float64(newT-oldT),
+		d2:    d2,
+		moved: float64(nLocal)*f + optMoved,
+	}
+}
+
+// reducePartitionSite folds the partition deltas of site i's pages into the
+// planner's site accumulators, allocates the replicas the decisions require
+// and counts the local marks — always in the site's fixed page order, so the
+// result is independent of how the parallel phase scheduled the pages.
+func (pl *Planner) reducePartitionSite(i workload.SiteID, deltas []partitionDelta) {
+	w := pl.env.W
+	marks := pl.localMarks[i]
+	for _, pid := range w.Sites[i].Pages {
+		d := &deltas[pid]
+		pl.d1Site[i] += d.d1
+		pl.d2Site[i] += d.d2
+		pl.siteLocalLoad[i] += d.moved
+		pl.siteRepoLoad[i] -= d.moved
+		pg := &w.Pages[pid]
+		for idx, k := range pg.Compulsory {
+			if pl.p.CompLocal(pid, idx) {
+				pl.p.Store(i, k)
+				marks[k]++
+			}
+		}
+		for _, l := range pg.Optional {
+			pl.p.Store(i, l.Object)
+			marks[l.Object]++
+		}
+	}
+}
+
+// partitionChunk is the unit of work the page pool hands out: big enough to
+// amortize the atomic fetch, small enough to balance the 400-800 page/site
+// skew across workers.
+const partitionChunk = 64
+
+// PartitionParallel runs PARTITION over every page (and marks all optional
+// links local) using up to workers goroutines, then reduces the site-level
+// accounting deterministically. The planner must be freshly constructed
+// (all-remote). Workers record their busy time on sp. With workers <= 1
+// everything runs inline on the caller's goroutine; the results are
+// byte-identical for every worker count.
+func (pl *Planner) PartitionParallel(workers int, sp *telemetry.Span) {
+	numPages := pl.env.W.NumPages()
+	numSites := pl.env.W.NumSites()
+	deltas := make([]partitionDelta, numPages)
+
+	partitionRange := func(lo, hi int, buf *[]int) {
+		for j := lo; j < hi; j++ {
+			deltas[j] = pl.partitionPageScratch(workload.PageID(j), buf)
+		}
+	}
+
+	if workers <= 1 {
+		var t time.Time
+		if sp != nil {
+			t = time.Now()
+		}
+		var buf []int
+		partitionRange(0, numPages, &buf)
+		for i := 0; i < numSites; i++ {
+			pl.reducePartitionSite(workload.SiteID(i), deltas)
+		}
+		if sp != nil {
+			sp.AddBusy(time.Since(t))
+		}
+		return
+	}
+
+	// Fan out over pages: per-worker scratch buffers, chunked index ranges
+	// claimed by an atomic cursor. Pages touch disjoint state, no locks.
+	if w := (numPages + partitionChunk - 1) / partitionChunk; workers > w {
+		workers = w
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var t time.Time
+			if sp != nil {
+				t = time.Now()
+			}
+			var buf []int // per-worker scratch, reused across pages
+			for {
+				c := int(next.Add(1) - 1)
+				lo := c * partitionChunk
+				if lo >= numPages {
+					break
+				}
+				hi := lo + partitionChunk
+				if hi > numPages {
+					hi = numPages
+				}
+				partitionRange(lo, hi, &buf)
+			}
+			if sp != nil {
+				sp.AddBusy(time.Since(t))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Reduce, fanned over sites: each site's accumulators are disjoint and
+	// its pages are folded in fixed order, so the reduction is race-free and
+	// scheduling-independent.
+	rw := workers
+	if rw > numSites {
+		rw = numSites
+	}
+	var nextSite atomic.Int64
+	for w := 0; w < rw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var t time.Time
+			if sp != nil {
+				t = time.Now()
+			}
+			for {
+				i := int(nextSite.Add(1) - 1)
+				if i >= numSites {
+					break
+				}
+				pl.reducePartitionSite(workload.SiteID(i), deltas)
+			}
+			if sp != nil {
+				sp.AddBusy(time.Since(t))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scratchFor returns a scratch planner for site i: a copy-on-write view of
+// the placement plus private copies of every accumulator the site's planning
+// phases may write. The scratch shares the immutable environment, the
+// reference index and the precomputed per-link times with its parent, so
+// building one is O(pages + site state), not O(problem).
+func (pl *Planner) scratchFor(i workload.SiteID) *Planner {
+	marks := make(map[workload.ObjectID]int, len(pl.localMarks[i]))
+	for k, v := range pl.localMarks[i] {
+		marks[k] = v
+	}
+	scratchMarks := append([]map[workload.ObjectID]int(nil), pl.localMarks...)
+	scratchMarks[i] = marks
+	return &Planner{
+		env:               pl.env,
+		p:                 pl.p.SiteView(i),
+		UnsortedPartition: pl.UnsortedPartition,
+		NoRepartition:     pl.NoRepartition,
+		localBytes:        append([]units.ByteSize(nil), pl.localBytes...),
+		remoteBytes:       append([]units.ByteSize(nil), pl.remoteBytes...),
+		pageT:             append([]units.Seconds(nil), pl.pageT...),
+		optOff:            pl.optOff,
+		optLocalT:         pl.optLocalT,
+		optRemoteT:        pl.optRemoteT,
+		d1Site:            append([]float64(nil), pl.d1Site...),
+		d2Site:            append([]float64(nil), pl.d2Site...),
+		siteLocalLoad:     append([]float64(nil), pl.siteLocalLoad...),
+		siteRepoLoad:      append([]float64(nil), pl.siteRepoLoad...),
+		refs:              pl.refs,
+		localMarks:        scratchMarks,
+	}
+}
+
+// commitScratch folds site i's state from a scratch planner back into pl:
+// the site's pages' chain caches, its objective and load cells, its mark
+// counters and its placement rows/store. Applied serially by a coordinator,
+// commits for distinct sites compose exactly like running the sites'
+// mutations sequentially, because no cell outside site i ever changes.
+func (pl *Planner) commitScratch(sc *Planner, i workload.SiteID) {
+	for _, j := range pl.env.W.Sites[i].Pages {
+		pl.localBytes[j] = sc.localBytes[j]
+		pl.remoteBytes[j] = sc.remoteBytes[j]
+		pl.pageT[j] = sc.pageT[j]
+	}
+	pl.d1Site[i] = sc.d1Site[i]
+	pl.d2Site[i] = sc.d2Site[i]
+	pl.siteLocalLoad[i] = sc.siteLocalLoad[i]
+	pl.siteRepoLoad[i] = sc.siteRepoLoad[i]
+	pl.localMarks[i] = sc.localMarks[i]
+	pl.p.AdoptSiteView(sc.p, i)
+}
+
+// OffloadParallel runs the off-loading negotiation with each phase's
+// AcceptWorkload evaluations scored concurrently on per-site scratch
+// planners; the coordinator adopts every site's accepted flips and swaps
+// serially, in ascending site order, before starting the next phase. The
+// placement, the statistics and the message log are bit-identical to the
+// sequential Offload. Per-site scoring busy time accumulates on sp.
+func (pl *Planner) OffloadParallel(log io.Writer, workers int, sp *telemetry.Span) OffloadStats {
+	if workers <= 1 {
+		return pl.Offload(log)
+	}
+	return pl.offload(log, func(reqs map[workload.SiteID]units.ReqPerSec) []AcceptResult {
+		sites := make([]workload.SiteID, 0, len(reqs))
+		for i := 0; i < pl.env.W.NumSites(); i++ {
+			if _, ok := reqs[workload.SiteID(i)]; ok {
+				sites = append(sites, workload.SiteID(i))
+			}
+		}
+		scratches := make([]*Planner, len(sites))
+		out := make([]AcceptResult, len(sites))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for s := range sites {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				var t time.Time
+				if sp != nil {
+					t = time.Now()
+				}
+				site := sites[s]
+				sc := pl.scratchFor(site)
+				out[s] = sc.AcceptWorkload(site, reqs[site])
+				scratches[s] = sc
+				if sp != nil {
+					sp.AddBusy(time.Since(t))
+				}
+			}(s)
+		}
+		wg.Wait()
+		// Serial application by the coordinator, in site order.
+		for s, site := range sites {
+			pl.commitScratch(scratches[s], site)
+		}
+		return out
+	})
+}

@@ -14,8 +14,11 @@ import (
 
 // Options controls plan execution.
 type Options struct {
-	// Workers bounds the per-site planning concurrency; 0 means
-	// GOMAXPROCS, 1 forces sequential execution.
+	// Workers bounds the planning concurrency: the page-level PARTITION
+	// pool, the per-site restoration pool and the off-loading scoring pool.
+	// 0 means GOMAXPROCS, 1 forces sequential execution. Every value
+	// produces byte-identical placements and an identical D (see
+	// parallel.go for why).
 	Workers int
 	// Distributed runs the off-loading negotiation over channels with one
 	// goroutine per site instead of the sequential reference loop. The
@@ -79,10 +82,12 @@ type Result struct {
 }
 
 // Plan runs the full pipeline of Section 4 over the environment: PARTITION
-// on every page, storage restoration (Eq. 10), processing restoration
-// (Eq. 8) — all per-site and embarrassingly parallel — followed by the
-// repository off-loading negotiation (Eq. 9). It returns the placement and
-// a result report.
+// fanned out over a page-level worker pool, storage restoration (Eq. 10)
+// and processing restoration (Eq. 8) fanned out per site, followed by the
+// repository off-loading negotiation (Eq. 9) with its acceptance decisions
+// scored concurrently on per-site scratch planners. The placement and the
+// objective are byte-identical for every Workers value. It returns the
+// placement and a result report.
 func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
 	pl := NewPlanner(env)
 	pl.UnsortedPartition = opts.UnsortedPartition
@@ -93,15 +98,12 @@ func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	numSites := env.W.NumSites()
-	if workers > numSites {
-		workers = numSites
-	}
 
-	// Phase spans. The per-site phases interleave across workers, so each
-	// phase span's wall clock covers the whole per-site section while its
-	// busy time sums the actual per-site work; counters are filled from the
-	// deterministic per-site stats below. All of this is skipped — zero
-	// timing calls, zero allocations — when tracing is off.
+	// Phase spans. The phases interleave across workers, so each phase
+	// span's wall clock covers the whole section while its busy time sums
+	// the per-worker work; counters are filled from the deterministic
+	// per-site stats below. All of this is skipped — zero timing calls,
+	// zero allocations — when tracing is off.
 	trace := opts.Trace
 	var spPart, spStore, spProc, spRefine *telemetry.Span
 	if trace != nil {
@@ -112,14 +114,21 @@ func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
 			spRefine = trace.Child("refine")
 		}
 	}
+
+	// Phase 1: PARTITION, parallel over pages with a deterministic per-site
+	// reduce of the load/storage accounting.
+	pl.PartitionParallel(workers, spPart)
+	spPart.End()
+
+	// Phase 2: constraint restoration (and the optional refine sweep),
+	// parallel over sites — the greedy loops are sequential within a site
+	// but distinct sites touch disjoint planner state.
 	stats := make([]SiteStats, numSites)
-	planSite := func(i workload.SiteID) {
+	restoreSite := func(i workload.SiteID) {
 		var t time.Time
 		if trace != nil {
 			t = time.Now()
 		}
-		pl.PartitionSite(i)
-		t = lap(spPart, t)
 		d := pl.RestoreStorageSite(i)
 		t = lap(spStore, t)
 		f := pl.RestoreProcessingSite(i)
@@ -131,22 +140,23 @@ func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
 		stats[i] = SiteStats{Site: i, Deallocs: d, ProcFlips: f}
 	}
 
-	if workers <= 1 {
+	siteWorkers := workers
+	if siteWorkers > numSites {
+		siteWorkers = numSites
+	}
+	if siteWorkers <= 1 {
 		for i := 0; i < numSites; i++ {
-			planSite(workload.SiteID(i))
+			restoreSite(workload.SiteID(i))
 		}
 	} else {
-		// Distinct sites touch disjoint planner state (their own pages,
-		// stores, load cells and objective cells), so per-site planning
-		// parallelizes without locks.
 		sites := make(chan workload.SiteID)
 		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
+		for w := 0; w < siteWorkers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range sites {
-					planSite(i)
+					restoreSite(i)
 				}
 			}()
 		}
@@ -157,17 +167,18 @@ func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
 		wg.Wait()
 	}
 
-	spPart.End()
 	spStore.End()
 	spProc.End()
 	spRefine.End()
 
+	// Phase 3: the off-loading negotiation, acceptance scored concurrently
+	// on per-site scratch planners and applied serially by the coordinator.
 	spOff := trace.Child("off-loading")
 	var off OffloadStats
 	if opts.Distributed {
 		off = pl.RunOffloadDistributed(opts.MessageLog)
 	} else {
-		off = pl.Offload(opts.MessageLog)
+		off = pl.OffloadParallel(opts.MessageLog, workers, spOff)
 	}
 	spOff.End()
 

@@ -47,6 +47,21 @@ type Planner struct {
 	localBytes  []units.ByteSize // HTML + locally-assigned compulsory bytes
 	remoteBytes []units.ByteSize // repository-assigned compulsory bytes
 
+	// pageT caches Eq. 5 — the current max of the two chains — per page.
+	// flipComp keeps it fresh, so the preview scoring on the restoration and
+	// off-loading hot paths reads the "before" time instead of recomputing
+	// the whole-page max on every candidate evaluation.
+	pageT []units.Seconds
+
+	// Flattened per-link one-download times (Eq. 6 inner terms). Both sides
+	// are constants of the environment — overhead plus transfer time of a
+	// fixed size at a fixed estimated rate — so they are precomputed once:
+	// link idx of page j lives at optOff[j]+idx. flipOpt scoring picks a
+	// side by bit instead of redoing the rate arithmetic per evaluation.
+	optOff     []int
+	optLocalT  []units.Seconds
+	optRemoteT []units.Seconds
+
 	// Incremental objective and loads, kept per site so the per-site
 	// planning phases can run concurrently without sharing hot words
 	// (distinct sites touch disjoint pages).
@@ -70,6 +85,8 @@ func NewPlanner(env *model.Env) *Planner {
 		p:             model.NewPlacement(w),
 		localBytes:    make([]units.ByteSize, w.NumPages()),
 		remoteBytes:   make([]units.ByteSize, w.NumPages()),
+		pageT:         make([]units.Seconds, w.NumPages()),
+		optOff:        make([]int, w.NumPages()+1),
 		d1Site:        make([]float64, w.NumSites()),
 		d2Site:        make([]float64, w.NumSites()),
 		siteLocalLoad: make([]float64, w.NumSites()),
@@ -80,6 +97,22 @@ func NewPlanner(env *model.Env) *Planner {
 	for i := range pl.refs {
 		pl.refs[i] = make(map[workload.ObjectID][]objRef)
 		pl.localMarks[i] = make(map[workload.ObjectID]int)
+	}
+	links := 0
+	for j := range w.Pages {
+		pl.optOff[j] = links
+		links += len(w.Pages[j].Optional)
+	}
+	pl.optOff[w.NumPages()] = links
+	pl.optLocalT = make([]units.Seconds, links)
+	pl.optRemoteT = make([]units.Seconds, links)
+	for j := range w.Pages {
+		est := pl.env.SiteEst(workload.PageID(j))
+		for idx, l := range w.Pages[j].Optional {
+			size := w.ObjectSize(l.Object)
+			pl.optLocalT[pl.optOff[j]+idx] = est.LocalOvhd + est.LocalRate.TransferTime(size)
+			pl.optRemoteT[pl.optOff[j]+idx] = est.RepoOvhd + est.RepoRate.TransferTime(size)
+		}
 	}
 	for j := range w.Pages {
 		pg := &w.Pages[j]
@@ -93,6 +126,7 @@ func NewPlanner(env *model.Env) *Planner {
 			pl.refs[pg.Site][l.Object] = append(pl.refs[pg.Site][l.Object], objRef{workload.PageID(j), idx, true})
 		}
 		pl.remoteBytes[j] = rb
+		pl.pageT[j] = pl.computePageTime(workload.PageID(j))
 
 		f := float64(pg.Freq)
 		pl.d1Site[pg.Site] += f * float64(pl.pageTime(workload.PageID(j)))
@@ -126,9 +160,14 @@ func (pl *Planner) remoteTime(j workload.PageID) units.Seconds {
 	return est.RepoOvhd + est.RepoRate.TransferTime(pl.remoteBytes[j])
 }
 
-// pageTime returns Eq. 5 for page j.
-func (pl *Planner) pageTime(j workload.PageID) units.Seconds {
+// computePageTime evaluates Eq. 5 for page j from the cached byte counts.
+func (pl *Planner) computePageTime(j workload.PageID) units.Seconds {
 	return units.MaxSeconds(pl.localTime(j), pl.remoteTime(j))
+}
+
+// pageTime returns the cached Eq. 5 value for page j.
+func (pl *Planner) pageTime(j workload.PageID) units.Seconds {
+	return pl.pageT[j]
 }
 
 // optOneTime returns the time of one download of page j's idx-th optional
@@ -137,15 +176,13 @@ func (pl *Planner) optOneTime(j workload.PageID, idx int) units.Seconds {
 	return pl.optOneTimeOn(j, idx, pl.p.OptLocal(j, idx))
 }
 
-// optOneTimeOn returns the same for an explicit side.
+// optOneTimeOn returns the same for an explicit side, from the precomputed
+// per-link constants.
 func (pl *Planner) optOneTimeOn(j workload.PageID, idx int, local bool) units.Seconds {
-	pg := &pl.env.W.Pages[j]
-	est := pl.env.SiteEst(j)
-	size := pl.env.W.ObjectSize(pg.Optional[idx].Object)
 	if local {
-		return est.LocalOvhd + est.LocalRate.TransferTime(size)
+		return pl.optLocalT[pl.optOff[j]+idx]
 	}
-	return est.RepoOvhd + est.RepoRate.TransferTime(size)
+	return pl.optRemoteT[pl.optOff[j]+idx]
 }
 
 // pageOptTime returns the Eq. 6 per-view expected optional seconds.
@@ -227,7 +264,7 @@ func (pl *Planner) flipComp(j workload.PageID, idx int, toLocal bool) {
 	size := pl.env.W.ObjectSize(pg.Compulsory[idx])
 	f := float64(pg.Freq)
 
-	oldT := pl.pageTime(j)
+	oldT := pl.pageT[j]
 	if toLocal {
 		pl.localBytes[j] += size
 		pl.remoteBytes[j] -= size
@@ -242,7 +279,9 @@ func (pl *Planner) flipComp(j workload.PageID, idx int, toLocal bool) {
 		pl.localMarks[pg.Site][pg.Compulsory[idx]]--
 	}
 	pl.p.SetCompLocal(j, idx, toLocal)
-	pl.d1Site[pg.Site] += f * float64(pl.pageTime(j)-oldT)
+	newT := pl.computePageTime(j)
+	pl.pageT[j] = newT
+	pl.d1Site[pg.Site] += f * float64(newT-oldT)
 }
 
 // flipOpt moves page j's idx-th optional link between the sides and updates
@@ -294,7 +333,7 @@ func (pl *Planner) previewFlipComp(j workload.PageID, idx int, toLocal bool) flo
 		newRemote = est.RepoOvhd + est.RepoRate.TransferTime(rb)
 	}
 	newT := units.MaxSeconds(newLocal, newRemote)
-	return pl.env.Alpha1 * float64(pg.Freq) * float64(newT-pl.pageTime(j))
+	return pl.env.Alpha1 * float64(pg.Freq) * float64(newT-pl.pageT[j])
 }
 
 // previewFlipOpt returns the change in D if page j's idx-th optional link
@@ -365,6 +404,9 @@ func (pl *Planner) VerifyConsistency() error {
 		}
 		if rt := model.PageRemoteTime(pl.env, pl.p, id); !approxEqual(float64(rt), float64(pl.remoteTime(id)), eps) {
 			return fmt.Errorf("core: page %d cached remote time %v != %v", j, pl.remoteTime(id), rt)
+		}
+		if pt := pl.computePageTime(id); pl.pageT[j] != pt {
+			return fmt.Errorf("core: page %d cached page time %v != recomputed %v", j, pl.pageT[j], pt)
 		}
 	}
 	return nil

@@ -73,10 +73,10 @@ func Ablations(opts Options) (*AblationResult, error) {
 		}
 
 		full := unconstrainedBudgets(env.w)
-		if err := measure("Proposed", full, core.Options{Workers: 1}); err != nil {
+		if err := measure("Proposed", full, core.Options{Workers: env.planWorkers}); err != nil {
 			return err
 		}
-		if err := measure("Proposed (unsorted PARTITION)", full, core.Options{Workers: 1, UnsortedPartition: true}); err != nil {
+		if err := measure("Proposed (unsorted PARTITION)", full, core.Options{Workers: env.planWorkers, UnsortedPartition: true}); err != nil {
 			return err
 		}
 		// The re-partitioning step only matters when storage forces
@@ -86,14 +86,14 @@ func Ablations(opts Options) (*AblationResult, error) {
 			tight.SiteCapacity[i] = model.Infinite()
 		}
 		tight.RepoCapacity = model.Infinite()
-		if err := measure("Proposed @40% storage", tight, core.Options{Workers: 1}); err != nil {
+		if err := measure("Proposed @40% storage", tight, core.Options{Workers: env.planWorkers}); err != nil {
 			return err
 		}
-		if err := measure("No re-partition @40% storage", tight, core.Options{Workers: 1, NoRepartition: true}); err != nil {
+		if err := measure("No re-partition @40% storage", tight, core.Options{Workers: env.planWorkers, NoRepartition: true}); err != nil {
 			return err
 		}
 		// Extension beyond the paper: the post-restoration refinement sweep.
-		if err := measure("Refined @40% storage", tight, core.Options{Workers: 1, Refine: true}); err != nil {
+		if err := measure("Refined @40% storage", tight, core.Options{Workers: env.planWorkers, Refine: true}); err != nil {
 			return err
 		}
 
@@ -182,7 +182,7 @@ func Drift(opts Options) (*stats.Figure, error) {
 		if err != nil {
 			return err
 		}
-		stalePlan, _, err := core.Plan(staleEnv, core.Options{Workers: 1})
+		stalePlan, _, err := core.Plan(staleEnv, core.Options{Workers: env.planWorkers})
 		if err != nil {
 			return err
 		}
@@ -205,7 +205,7 @@ func Drift(opts Options) (*stats.Figure, error) {
 			if err != nil {
 				return err
 			}
-			freshPlan, _, err := core.Plan(freshEnv, core.Options{Workers: 1})
+			freshPlan, _, err := core.Plan(freshEnv, core.Options{Workers: env.planWorkers})
 			if err != nil {
 				return err
 			}

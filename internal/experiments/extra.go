@@ -15,8 +15,8 @@ import (
 // planProbe plans the proposed policy under the environment and returns the
 // placement (Figure 3 uses it to size the repository's capacity relative to
 // the pre-offload load).
-func planProbe(env *model.Env) (*model.Placement, *core.Result, error) {
-	return core.Plan(env, core.Options{Workers: 1})
+func planProbe(env *model.Env, workers int) (*model.Placement, *core.Result, error) {
+	return core.Plan(env, core.Options{Workers: workers})
 }
 
 // Table1 generates one full workload per the options and returns its audit

@@ -204,7 +204,7 @@ func Figure3(opts Options) (*stats.Figure, error) {
 			if err != nil {
 				return err
 			}
-			pp, _, err := planProbe(probeEnv)
+			pp, _, err := planProbe(probeEnv, env.planWorkers)
 			if err != nil {
 				return err
 			}

@@ -33,6 +33,12 @@ type Options struct {
 	Seed uint64
 	// Workers bounds run-level parallelism; 0 = GOMAXPROCS.
 	Workers int
+	// PlanWorkers bounds the intra-plan concurrency (core.Options.Workers)
+	// of every Plan call an experiment makes. The default 0 means 1:
+	// experiments already parallelize across runs, so nested planning pools
+	// only help when Runs is small relative to the machine. Any value yields
+	// byte-identical plans — this is a throughput knob, not a results knob.
+	PlanWorkers int
 	// RequestsPerSite overrides the workload config's request count when
 	// positive.
 	RequestsPerSite int
@@ -85,6 +91,9 @@ func (o *Options) Validate() error {
 	if o.RequestsPerSite < 0 {
 		return fmt.Errorf("experiments: negative RequestsPerSite")
 	}
+	if o.PlanWorkers < 0 {
+		return fmt.Errorf("experiments: negative PlanWorkers")
+	}
 	return nil
 }
 
@@ -93,6 +102,13 @@ func (o *Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o *Options) planWorkers() int {
+	if o.PlanWorkers > 0 {
+		return o.PlanWorkers
+	}
+	return 1
 }
 
 func (o *Options) requests() int {

@@ -46,7 +46,7 @@ func PeriodStudy(opts Options) (*stats.Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, _, err := core.Plan(menv, core.Options{Workers: 1})
+			p, _, err := core.Plan(menv, core.Options{Workers: env.planWorkers})
 			return p, err
 		}
 		simulate := func(w *workload.Workload, p *model.Placement, epoch int) (float64, error) {

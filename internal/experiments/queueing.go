@@ -34,7 +34,7 @@ func QueueingStudy(opts Options) (*stats.Figure, error) {
 		if err != nil {
 			return err
 		}
-		ignorantPlan, _, err := core.Plan(ignorantEnv, core.Options{Workers: 1})
+		ignorantPlan, _, err := core.Plan(ignorantEnv, core.Options{Workers: env.planWorkers})
 		if err != nil {
 			return err
 		}
@@ -61,7 +61,7 @@ func QueueingStudy(opts Options) (*stats.Figure, error) {
 			if err != nil {
 				return err
 			}
-			awarePlan, _, err := core.Plan(awareEnv, core.Options{Workers: 1})
+			awarePlan, _, err := core.Plan(awareEnv, core.Options{Workers: env.planWorkers})
 			if err != nil {
 				return err
 			}

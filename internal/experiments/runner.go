@@ -25,6 +25,9 @@ type runEnv struct {
 	simCfg  httpsim.Config
 	simSeed uint64
 	baseRT  float64
+	// planWorkers is Options.planWorkers(), threaded into every core.Plan
+	// call the run makes.
+	planWorkers int
 }
 
 // stream labels for run derivation.
@@ -53,10 +56,11 @@ func newRunEnv(opts *Options, r int) (*runEnv, error) {
 		Workers:         1, // runs parallelize at the outer level
 	}
 	env := &runEnv{
-		w:       w,
-		est:     est,
-		simCfg:  simCfg,
-		simSeed: root.Split(runTrafficStream, uint64(r)).Seed(),
+		w:           w,
+		est:         est,
+		simCfg:      simCfg,
+		simSeed:     root.Split(runTrafficStream, uint64(r)).Seed(),
+		planWorkers: opts.planWorkers(),
 	}
 
 	// Reference: the proposed policy with no constraints (full storage,
@@ -111,7 +115,7 @@ func (e *runEnv) simulatePlanned(b model.Budgets, distributedOffload bool) (floa
 	if err != nil {
 		return 0, nil, err
 	}
-	p, pr, err := core.Plan(env, core.Options{Workers: 1, Distributed: distributedOffload})
+	p, pr, err := core.Plan(env, core.Options{Workers: e.planWorkers, Distributed: distributedOffload})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -129,7 +133,7 @@ func simulatePlannedWithConfig(e *runEnv, b model.Budgets, cfg httpsim.Config) (
 	if err != nil {
 		return 0, err
 	}
-	p, _, err := core.Plan(env, core.Options{Workers: 1})
+	p, _, err := core.Plan(env, core.Options{Workers: e.planWorkers})
 	if err != nil {
 		return 0, err
 	}

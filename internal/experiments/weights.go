@@ -25,7 +25,7 @@ func WeightsStudy(opts Options) (*stats.Figure, error) {
 		if err != nil {
 			return err
 		}
-		refPlan, _, err := core.Plan(refEnv, core.Options{Workers: 1})
+		refPlan, _, err := core.Plan(refEnv, core.Options{Workers: env.planWorkers})
 		if err != nil {
 			return err
 		}
@@ -42,7 +42,7 @@ func WeightsStudy(opts Options) (*stats.Figure, error) {
 			}
 			menv.Alpha1 = 2
 			menv.Alpha2 = 2 * ratio
-			p, _, err := core.Plan(menv, core.Options{Workers: 1})
+			p, _, err := core.Plan(menv, core.Options{Workers: env.planWorkers})
 			if err != nil {
 				return err
 			}

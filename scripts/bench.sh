@@ -22,8 +22,8 @@ out="BENCH_${stamp}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench=$pattern -benchmem -benchtime=$benchtime =="
-go test -bench="$pattern" -benchmem -benchtime="$benchtime" -run='^$' ./... | tee "$raw"
+echo "== go test -count=1 -bench=$pattern -benchmem -benchtime=$benchtime (GOMAXPROCS=${GOMAXPROCS:-unset}) =="
+go test -count=1 -bench="$pattern" -benchmem -benchtime="$benchtime" -run='^$' ./... | tee "$raw"
 
 # Turn the standard benchmark lines
 #   BenchmarkName-8  10  12345 ns/op  678 B/op  9 allocs/op

@@ -1,0 +1,29 @@
+#!/bin/sh
+# benchdiff.sh — compare the newest two BENCH_*.json snapshots (as written
+# by scripts/bench.sh) with cmd/benchdiff and fail on a gated planner
+# benchmark regression. With fewer than two snapshots there is nothing to
+# compare: print a note and exit 0, so fresh checkouts pass trivially.
+#
+# Usage:
+#
+#	scripts/benchdiff.sh [benchdiff flags...]
+#
+# Extra arguments are passed through to cmd/benchdiff (e.g. -threshold 10,
+# -filter 'Plan'). Exit status is benchdiff's: 0 ok, 1 regression.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Newest two by the UTC stamp embedded in the name (lexicographic ==
+# chronological for BENCH_<ISO-stamp>.json).
+files=$(ls BENCH_*.json 2>/dev/null | sort | tail -2)
+count=$(printf '%s\n' "$files" | grep -c . || true)
+if [ "$count" -lt 2 ]; then
+    echo "benchdiff: fewer than two BENCH_*.json snapshots — nothing to compare"
+    exit 0
+fi
+old=$(printf '%s\n' "$files" | head -1)
+new=$(printf '%s\n' "$files" | tail -1)
+
+echo "benchdiff: $old -> $new"
+exec go run ./cmd/benchdiff "$@" "$old" "$new"

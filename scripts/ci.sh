@@ -1,7 +1,9 @@
 #!/bin/sh
 # ci.sh — the full verification pipeline. Everything here must pass before
 # a change lands: formatting, build, vet, the complete test suite, the race
-# detector on the concurrent packages, and a single pass of every benchmark.
+# detector on the concurrent packages, coverage on the planner core, and a
+# single pinned-GOMAXPROCS pass of every benchmark followed by a regression
+# diff against the previous snapshot.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,8 +28,34 @@ go test ./...
 echo "== race (concurrent packages) =="
 go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/ ./internal/telemetry/ ./internal/accesslog/
 
-echo "== benchmarks (one pass) =="
-go test -bench=. -benchmem -benchtime=1x -run='^$' ./...
+echo "== coverage (internal/core floor ${CI_CORE_COVER_FLOOR:=90}%) =="
+cover_out=$(mktemp)
+trap 'rm -f "$cover_out"' EXIT
+go test -count=1 -coverprofile="$cover_out" ./internal/core/
+core_cover=$(go tool cover -func="$cover_out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "internal/core statement coverage: ${core_cover}%"
+if awk -v c="$core_cover" -v floor="$CI_CORE_COVER_FLOOR" 'BEGIN { exit !(c < floor) }'; then
+    echo "internal/core coverage ${core_cover}% is below the ${CI_CORE_COVER_FLOOR}% floor" >&2
+    exit 1
+fi
+
+echo "== benchmarks (GOMAXPROCS pinned) =="
+# Pin GOMAXPROCS so ns/op numbers are comparable across runners of different
+# widths, and -count=1 so a warm test cache can never skip the pass. The
+# results land in a fresh BENCH_<stamp>.json for the diff below. Local runs
+# take one pass; the CI workflow sets CI_BENCHTIME=3x to average the noise
+# down before the fatal gate.
+GOMAXPROCS=4 scripts/bench.sh . "${CI_BENCHTIME:-1x}"
+
+echo "== benchdiff (planner regression gate) =="
+# A single -benchtime=1x pass is too noisy to block local work on, so the
+# diff only warns here; the CI workflow exports CI_BENCHDIFF_FATAL=1 to make
+# a >15 % ns/op regression on the planner benchmarks fail the build.
+if [ "${CI_BENCHDIFF_FATAL:-0}" = "1" ]; then
+    scripts/benchdiff.sh
+else
+    scripts/benchdiff.sh || echo "benchdiff: regression reported (non-fatal locally; CI_BENCHDIFF_FATAL=1 enforces)"
+fi
 
 echo "== metrics endpoint smoke =="
 go test -count=1 -run TestMetricsEndpoint ./internal/webserve/
