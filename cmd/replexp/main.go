@@ -129,6 +129,7 @@ var experiments = []experimentSpec{
 	figureExperiment("queueing", false, repro.QueueingStudy),
 	figureExperiment("period", false, repro.PeriodStudy),
 	figureExperiment("weights", false, repro.WeightsStudy),
+	figureExperiment("degraded", false, repro.DegradedMode),
 }
 
 func run(args []string, stdout io.Writer) error {

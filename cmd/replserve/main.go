@@ -7,9 +7,15 @@
 // then closes the Section-4.1 loop once — estimate frequencies from the
 // access log, re-plan, apply live.
 //
+// With -chaos LEVEL a deterministic fault plan (seeded from -seed) injects
+// errors, resets, truncations, latency and outage windows into the site
+// servers; the resilient client retries and falls back to the repository, so
+// every fetch still completes.
+//
 // Usage:
 //
 //	replserve [-seed N] [-storage F] [-fetch N] [-adapt] [-metrics] [-serve]
+//	          [-chaos LEVEL]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"repro"
 	"repro/internal/accesslog"
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/webserve"
 )
@@ -36,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	adapt := fs.Bool("adapt", false, "after fetching, estimate frequencies and re-plan live")
 	metrics := fs.Bool("metrics", false, "serve a /metrics JSON snapshot and /debug/pprof/ on every server")
 	serve := fs.Bool("serve", false, "keep serving until interrupted instead of exiting")
+	chaos := fs.Float64("chaos", 0, "fault-injection level in [0,1]; 0 = healthy cluster")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,9 +70,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "planned: D=%.1f feasible=%v\n", result.D, result.Feasible)
 
+	var plan *faults.Plan
+	if *chaos > 0 {
+		fcfg := faults.DefaultPlanConfig()
+		fcfg.Level = *chaos
+		plan, err = faults.Generate(fcfg, w.NumSites(), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "chaos: level %.2f fault plan armed (seed %d, repository clean)\n", *chaos, *seed)
+	}
+
 	cluster, err := webserve.StartClusterOptions(w, placement, webserve.ClusterOptions{
 		Metrics: *metrics,
 		Pprof:   *metrics,
+		Faults:  plan,
 	})
 	if err != nil {
 		return err
@@ -81,9 +101,10 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "example page: %s\n\n", cluster.PageURL(w.Sites[0].Pages[0]))
 
 	if *fetch > 0 {
-		client := webserve.NewClient(w)
+		client := cluster.Client(webserve.ClientOptions{JitterSeed: *seed})
 		client.Verify = true
 		var localObjs, repoObjs, n int
+		var retries, fallbacks, degraded int
 		var elapsed time.Duration
 		for i := 0; i < *fetch; i++ {
 			site := i % w.NumSites()
@@ -94,11 +115,20 @@ func run(args []string, stdout io.Writer) error {
 			}
 			localObjs += res.LocalChain.Objects
 			repoObjs += res.RemoteChain.Objects
+			retries += res.Retries
+			fallbacks += res.Fallbacks
+			if res.Degraded() {
+				degraded++
+			}
 			elapsed += res.Elapsed
 			n++
 		}
 		fmt.Fprintf(stdout, "fetched %d pages: %d objects local, %d from the repository, avg %.1fms/page (loopback)\n",
 			n, localObjs, repoObjs, float64(elapsed.Milliseconds())/float64(n))
+		if *chaos > 0 {
+			fmt.Fprintf(stdout, "resilience: %d retries, %d repository fallbacks, %d degraded pages — all %d fetches completed\n",
+				retries, fallbacks, degraded, n)
+		}
 		if *metrics {
 			fmt.Fprintln(stdout, "\ntelemetry snapshot:")
 			if err := cluster.Metrics.Snapshot().WriteText(stdout); err != nil {

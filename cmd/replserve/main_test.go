@@ -37,3 +37,28 @@ func TestRunServeRejectsBadFlag(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+func TestRunServeChaos(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fetch", "8", "-chaos", "0.6"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"chaos: level 0.60 fault plan armed",
+		"fetched 8 pages",
+		"resilience:",
+		"all 8 fetches completed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunServeRejectsBadChaosLevel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-chaos", "1.5"}, &sb); err == nil {
+		t.Error("chaos level 1.5 accepted")
+	}
+}

@@ -9,6 +9,12 @@
 //	replsim [-w workload.json] [-p placement.json] [-seed N]
 //	        [-scale paper|small] [-storage F] [-capacity F]
 //	        [-requests N] [-queueing] [-percentiles]
+//	        [-outage AVAIL] [-failover SECS]
+//
+// With -outage each page view finds its local site down with probability
+// 1-AVAIL and is served entirely by the repository (degraded mode), paying
+// -failover seconds of detection cost; the comparison then reports how many
+// views each policy served degraded.
 package main
 
 import (
@@ -33,6 +39,8 @@ func run(args []string, stdout io.Writer) error {
 	ppath := fs.String("p", "", "simulate this saved placement (from replplan -o) instead of re-planning")
 	percentiles := fs.Bool("percentiles", false, "also report p50/p90/p99 page response times")
 	bySite := fs.Bool("by-site", false, "also break the proposed policy's page response times down per site")
+	outage := fs.Float64("outage", -1, "site availability in [0,1]; arms degraded mode (negative = off)")
+	failover := fs.Float64("failover", 0.25, "failover delay per degraded view, seconds (with -outage)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +91,14 @@ func run(args []string, stdout io.Writer) error {
 		cfg.RequestsPerSite = *requests
 	}
 	cfg.Queueing = *queueing
+	if *outage >= 0 {
+		cfg.Outage = repro.OutageConfig{
+			Enabled:       true,
+			Availability:  *outage,
+			FailoverDelay: repro.Seconds(*failover),
+		}
+		fmt.Fprintf(stdout, "degraded mode: site availability %.2f, failover delay %.2fs\n\n", *outage, *failover)
+	}
 
 	lru, err := repro.NewLRUPolicy(w, budgets, *seed)
 	if err != nil {
@@ -102,6 +118,9 @@ func run(args []string, stdout io.Writer) error {
 
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	header := "policy\tmean page RT\tmean optional/view\tcomposite\tlocal req\trepo req"
+	if *outage >= 0 {
+		header += "\tdegraded"
+	}
 	if *percentiles {
 		header += "\tp50\tp90\tp99"
 	}
@@ -123,6 +142,9 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(tw, "%s\t%.2fs\t%.2fs\t%.2fs (%+.1f%%)\t%d\t%d",
 			res.Policy, res.PageRT.Mean(), res.OptPerView.Mean(), comp,
 			(comp/base-1)*100, res.LocalRequests, res.RepoRequests)
+		if *outage >= 0 {
+			fmt.Fprintf(tw, "\t%d", res.DegradedViews)
+		}
 		if *percentiles {
 			fmt.Fprintf(tw, "\t%.0fs\t%.0fs\t%.0fs",
 				res.Samples.Percentile(0.50), res.Samples.Percentile(0.90), res.Samples.Percentile(0.99))

@@ -84,3 +84,23 @@ func TestRunSimBySite(t *testing.T) {
 		t.Error("breakdown missing")
 	}
 }
+
+func TestRunSimOutage(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scale", "small", "-requests", "100", "-outage", "0.5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"degraded mode: site availability 0.50", "degraded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSimRejectsBadAvailability(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scale", "small", "-requests", "50", "-outage", "2"}, &sb); err == nil {
+		t.Error("availability 2 accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/model"
+	"repro/internal/policies"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// AvailabilityGrid is the per-view site availability swept by the
+// degraded-mode study. 1 is a healthy cluster; 0.5 loses every other view's
+// local replica.
+var AvailabilityGrid = []float64{1, 0.99, 0.95, 0.9, 0.75, 0.5}
+
+// DegradedFailoverDelay is the per-degraded-view detection-and-reroute cost
+// the study charges, mirroring the live client's timeout + retry + fallback
+// path.
+var DegradedFailoverDelay = units.Seconds(0.25)
+
+// DegradedMode quantifies the robustness claim behind the repository
+// fallback: because the paper's repository is an always-on root holding every
+// object, a site outage degrades a view to the remote chain instead of
+// failing it. The study sweeps site availability and compares the proposed
+// policy at 50 % storage against full replication (Local), no replication
+// (Remote), and a repository-only system (availability 0 — the floor every
+// policy decays toward), all on identical traffic with outage draws from a
+// dedicated stream.
+func DegradedMode(opts Options) (*stats.Figure, error) {
+	type point struct {
+		series string
+		x, y   float64
+	}
+	// Runs execute concurrently; buffering each run's points and feeding the
+	// collector in run order afterwards keeps the figure bit-identical per
+	// seed (float accumulation order never depends on scheduling).
+	perRun := make([][]point, opts.Runs)
+	err := forEachRun(&opts, func(r int, env *runEnv) error {
+		add := func(series string, x, y float64) {
+			perRun[r] = append(perRun[r], point{series, x, y})
+		}
+		// Plan the proposed policy once at half storage; the placement does
+		// not depend on availability, only its realized response time does.
+		half := unconstrainedBudgets(env.w).Scale(env.w, 0.5, 1)
+		penv, err := model.NewEnv(env.w, env.est, half)
+		if err != nil {
+			return err
+		}
+		p, _, err := core.Plan(penv, core.Options{Workers: env.planWorkers})
+		if err != nil {
+			return err
+		}
+		proposed := policies.NewStatic("Proposed", p)
+
+		outageCfg := func(avail float64) httpsim.Config {
+			cfg := env.simCfg
+			cfg.Outage = httpsim.OutageConfig{
+				Enabled:       true,
+				Availability:  avail,
+				FailoverDelay: DegradedFailoverDelay,
+			}
+			return cfg
+		}
+
+		// Repository-only floor: availability 0 degrades every view, so the
+		// decider is irrelevant — one simulation, plotted flat.
+		floorRT, err := simulateWithConfig(env, policies.NewRemote(env.w), outageCfg(0))
+		if err != nil {
+			return err
+		}
+		for _, avail := range AvailabilityGrid {
+			cfg := outageCfg(avail)
+			for _, pol := range []struct {
+				name string
+				dec  httpsim.Decider
+			}{
+				{"Proposed (50% storage)", proposed},
+				{"Full replication", policies.NewLocal(env.w)},
+				{"No replication", policies.NewRemote(env.w)},
+			} {
+				rt, err := simulateWithConfig(env, pol.dec, cfg)
+				if err != nil {
+					return err
+				}
+				add(pol.name, avail, stats.RelativeIncrease(rt, env.baseRT))
+			}
+			add("Repository only", avail, stats.RelativeIncrease(floorRT, env.baseRT))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	col := newCollector()
+	for _, pts := range perRun {
+		for _, p := range pts {
+			col.add(p.series, p.x, p.y)
+		}
+	}
+	return col.figure("Degraded mode: response time vs site availability",
+		"site availability", []string{
+			"Proposed (50% storage)", "Full replication",
+			"No replication", "Repository only",
+		}), nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import "testing"
+
+func TestDegradedModeShape(t *testing.T) {
+	fig, err := DegradedMode(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		"Proposed (50% storage)", "Full replication",
+		"No replication", "Repository only",
+	}
+	for _, name := range names {
+		s := seriesByName(fig, name)
+		if s == nil {
+			t.Fatalf("missing series %q", name)
+		}
+		if len(s.X) != len(AvailabilityGrid) {
+			t.Errorf("%s has %d points, want %d", name, len(s.X), len(AvailabilityGrid))
+		}
+	}
+	// The repository-only floor is availability-independent: flat.
+	floor := seriesByName(fig, "Repository only")
+	for i := 1; i < len(floor.Y); i++ {
+		if floor.Y[i] != floor.Y[0] {
+			t.Errorf("repository-only series not flat: %v", floor.Y)
+		}
+	}
+	// Replication only helps while the site answers: as availability drops,
+	// the replicated policies decay toward the repository-only floor.
+	for _, name := range names[:2] {
+		s := seriesByName(fig, name)
+		healthy, worst := s.Y[0], s.Y[len(s.Y)-1]
+		if worst <= healthy {
+			t.Errorf("%s did not degrade: healthy %+.1f%%, 50%% availability %+.1f%%",
+				name, healthy, worst)
+		}
+		if healthy >= floor.Y[0] {
+			t.Errorf("%s healthy (%+.1f%%) no better than repository-only floor (%+.1f%%)",
+				name, healthy, floor.Y[0])
+		}
+	}
+}
+
+func TestDegradedModeReproducible(t *testing.T) {
+	a, err := DegradedMode(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DegradedMode(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series count differs: %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i, s := range a.Series {
+		o := b.Series[i]
+		if s.Name != o.Name {
+			t.Fatalf("series order differs: %q vs %q", s.Name, o.Name)
+		}
+		for j := range s.Y {
+			if s.Y[j] != o.Y[j] || s.X[j] != o.X[j] {
+				t.Errorf("%s point %d differs: (%v, %v) vs (%v, %v)",
+					s.Name, j, s.X[j], s.Y[j], o.X[j], o.Y[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := DefaultPlanConfig()
+	a, err := Generate(cfg, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("same seed produced different plan bytes:\n%s\nvs\n%s", ab, bb)
+	}
+
+	c, err := Generate(cfg, 10, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := c.Encode()
+	if bytes.Equal(ab, cb) {
+		t.Fatal("different seeds produced identical plans")
+	}
+
+	// Round-trip through Decode preserves the plan.
+	back, err := Decode(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb2, _ := back.Encode()
+	if !bytes.Equal(ab, bb2) {
+		t.Fatal("Decode/Encode round trip changed the plan")
+	}
+}
+
+func TestGenerateSiteIndependence(t *testing.T) {
+	cfg := DefaultPlanConfig()
+	small, err := Generate(cfg, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate(cfg, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ab, _ := (&Plan{Sites: []Spec{small.Sites[i]}}).Encode()
+		bb, _ := (&Plan{Sites: []Spec{big.Sites[i]}}).Encode()
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("site %d spec changed when the cluster grew", i)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{ErrorRate: -0.1},
+		{ErrorRate: 1.1},
+		{ErrorRate: 0.5, ResetRate: 0.4, TruncateRate: 0.2}, // sum > 1
+		{Latency: -time.Second},
+		{Outages: []Window{{Start: time.Second, End: 0}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated despite being invalid", i)
+		}
+	}
+	good := Spec{ErrorRate: 0.3, ResetRate: 0.3, TruncateRate: 0.3, Latency: time.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	spec := Spec{ErrorRate: 0.2, ResetRate: 0.2, TruncateRate: 0.2, Latency: time.Millisecond, LatencyJitter: time.Millisecond}
+	const n = 500
+	run := func() []Decision {
+		inj := NewInjector(spec, 99)
+		out := make([]Decision, n)
+		for i := range out {
+			out[i] = inj.Decide(0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	var faulted int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically-seeded injectors: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Action != None {
+			faulted++
+		}
+	}
+	// ≈60 % of decisions should fault; allow wide slack.
+	if faulted < n/4 || faulted > n {
+		t.Errorf("%d/%d faulted decisions, expected roughly 60%%", faulted, n)
+	}
+}
+
+func TestOutageWindowsConsumeNoRandomness(t *testing.T) {
+	spec := Spec{ErrorRate: 0.5}
+	withOutage := spec
+	withOutage.Outages = []Window{{Start: time.Second, End: 2 * time.Second}}
+
+	plain := NewInjector(spec, 5)
+	outaged := NewInjector(withOutage, 5)
+
+	// Interleave outage-window decisions; the rate-driven stream must not
+	// shift relative to the plain injector.
+	for i := 0; i < 100; i++ {
+		if d := outaged.Decide(1500 * time.Millisecond); d.Action != Fail {
+			t.Fatalf("decision inside outage window was %v, want fail", d.Action)
+		}
+		got := outaged.Decide(0)
+		want := plain.Decide(0)
+		if got != want {
+			t.Fatalf("decision %d shifted after outage draws: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestFullOutage(t *testing.T) {
+	inj := NewInjector(FullOutage(), 1)
+	for _, at := range []time.Duration{0, time.Second, time.Hour, 24 * 365 * time.Hour} {
+		if d := inj.Decide(at); d.Action != Fail {
+			t.Fatalf("FullOutage at %v decided %v, want fail", at, d.Action)
+		}
+	}
+}
+
+func TestNilPlanIsQuiet(t *testing.T) {
+	var p *Plan
+	if !p.SiteSpec(0).Quiet() || !p.RepoSpec().Quiet() {
+		t.Fatal("nil plan is not quiet")
+	}
+	real := &Plan{Sites: []Spec{{ErrorRate: 0.5}}}
+	if real.SiteSpec(0).Quiet() {
+		t.Fatal("real spec reported quiet")
+	}
+	if !real.SiteSpec(5).Quiet() {
+		t.Fatal("out-of-range site not quiet")
+	}
+}

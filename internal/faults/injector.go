@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Action is what the injector does to one request.
+type Action int
+
+const (
+	// None serves the request untouched (beyond any injected delay).
+	None Action = iota
+	// Fail answers 503 Service Unavailable without running the handler.
+	Fail
+	// Reset drops the connection before any response byte.
+	Reset
+	// Truncate serves part of the response body, then drops the connection.
+	Truncate
+)
+
+// String names the action for logs and test failures.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Fail:
+		return "fail"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	}
+	return "unknown"
+}
+
+// Decision is the injector's verdict for one request.
+type Decision struct {
+	Action Action
+	// Delay is injected before the action (including before a clean serve).
+	Delay time.Duration
+}
+
+// Injector turns a Spec into a deterministic per-request decision stream.
+// It is safe for concurrent use; concurrent requests serialize on one
+// internal stream, so the decision *sequence* is seed-determined even
+// though which request observes which decision depends on arrival order.
+type Injector struct {
+	spec Spec
+
+	mu     sync.Mutex
+	stream *rng.Stream
+}
+
+// NewInjector builds an injector for the spec, its randomness derived from
+// seed. The spec must have passed Validate.
+func NewInjector(spec Spec, seed uint64) *Injector {
+	return &Injector{spec: spec, stream: rng.New(seed)}
+}
+
+// Spec returns the injector's spec.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// Decide returns the fault decision for a request arriving at the given
+// elapsed time since the plan was armed. Outage windows dominate: inside
+// one, every request Fails with no randomness consumed, so an outage does
+// not shift the post-outage decision stream.
+func (in *Injector) Decide(elapsed time.Duration) Decision {
+	for _, w := range in.spec.Outages {
+		if w.Contains(elapsed) {
+			return Decision{Action: Fail}
+		}
+	}
+	if in.spec.Quiet() {
+		return Decision{}
+	}
+
+	in.mu.Lock()
+	var d Decision
+	if in.spec.LatencyJitter > 0 {
+		d.Delay = in.spec.Latency + time.Duration(in.stream.Uniform(0, float64(in.spec.LatencyJitter)))
+	} else {
+		d.Delay = in.spec.Latency
+	}
+	// One uniform variate picks among the mutually-exclusive fault kinds.
+	u := in.stream.Float64()
+	in.mu.Unlock()
+
+	switch {
+	case u < in.spec.ErrorRate:
+		d.Action = Fail
+	case u < in.spec.ErrorRate+in.spec.ResetRate:
+		d.Action = Reset
+	case u < in.spec.ErrorRate+in.spec.ResetRate+in.spec.TruncateRate:
+		d.Action = Truncate
+	}
+	return d
+}

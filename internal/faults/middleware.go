@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics counts what the middleware actually injected. All fields are
+// nil-tolerant telemetry counters, so the zero Metrics is a no-op sink.
+type Metrics struct {
+	Failures    *telemetry.Counter // 503s (rate-drawn and outage-window)
+	Resets      *telemetry.Counter // connections dropped before any byte
+	Truncations *telemetry.Counter // bodies cut mid-transfer
+	Delayed     *telemetry.Counter // requests that slept an injected delay
+}
+
+// MetricsFor registers the middleware counters under prefix (e.g.
+// "faults.site.0.") in the registry. A nil registry yields no-op counters.
+func MetricsFor(reg *telemetry.Registry, prefix string) Metrics {
+	return Metrics{
+		Failures:    reg.Counter(prefix + "injected_failures"),
+		Resets:      reg.Counter(prefix + "injected_resets"),
+		Truncations: reg.Counter(prefix + "injected_truncations"),
+		Delayed:     reg.Counter(prefix + "injected_delays"),
+	}
+}
+
+// Middleware wraps next with fault injection driven by the injector. clock
+// reports the elapsed time since the plan was armed (it feeds the outage
+// windows); a nil clock pins elapsed to 0, which keeps rate faults working
+// and makes windows starting at 0 permanent.
+//
+// Reset and Truncate abort the connection via http.ErrAbortHandler — the
+// mechanism net/http itself designates for "drop this connection without a
+// valid response" — so clients observe EOF / unexpected EOF exactly as
+// they would from a crashing server.
+func Middleware(inj *Injector, clock func() time.Duration, m Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		elapsed := time.Duration(0)
+		if clock != nil {
+			elapsed = clock()
+		}
+		d := inj.Decide(elapsed)
+		if d.Delay > 0 {
+			m.Delayed.Inc()
+			time.Sleep(d.Delay)
+		}
+		switch d.Action {
+		case Fail:
+			m.Failures.Inc()
+			http.Error(rw, "fault injected: server unavailable", http.StatusServiceUnavailable)
+		case Reset:
+			m.Resets.Inc()
+			panic(http.ErrAbortHandler)
+		case Truncate:
+			m.Truncations.Inc()
+			tw := &truncatingWriter{rw: rw}
+			next.ServeHTTP(tw, req)
+			// Push the partial body out of the server's buffer before
+			// dropping the connection, so the client observes a short body
+			// rather than no response at all.
+			if f, ok := rw.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		default:
+			next.ServeHTTP(rw, req)
+		}
+	})
+}
+
+// errTruncated is the sentinel the truncating writer returns once its byte
+// budget is spent; handlers' io.Copy loops stop on it.
+var errTruncated = errors.New("faults: response truncated by injection")
+
+// truncatingWriter forwards roughly half of the declared response body and
+// then fails every further write. The wrapping middleware drops the
+// connection afterwards, so the client sees a short body against the full
+// Content-Length — the classic mid-transfer failure.
+type truncatingWriter struct {
+	rw      http.ResponseWriter
+	limit   int64 // bytes still allowed; set at WriteHeader time
+	started bool
+}
+
+func (t *truncatingWriter) Header() http.Header { return t.rw.Header() }
+
+func (t *truncatingWriter) WriteHeader(status int) {
+	t.start()
+	t.rw.WriteHeader(status)
+}
+
+// start fixes the byte budget from the declared Content-Length: half of it
+// (at least one byte, so the response visibly starts), or 512 bytes for
+// undeclared (chunked) bodies.
+func (t *truncatingWriter) start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	t.limit = 512
+	if cl, err := strconv.ParseInt(t.rw.Header().Get("Content-Length"), 10, 64); err == nil && cl > 0 {
+		t.limit = cl / 2
+		if t.limit < 1 {
+			t.limit = 1
+		}
+	}
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	t.start()
+	if t.limit <= 0 {
+		return 0, errTruncated
+	}
+	if int64(len(p)) > t.limit {
+		p = p[:t.limit]
+	}
+	n, err := t.rw.Write(p)
+	t.limit -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	if t.limit <= 0 {
+		return n, errTruncated
+	}
+	return n, nil
+}

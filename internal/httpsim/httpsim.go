@@ -71,6 +71,42 @@ type Config struct {
 	// report distributions rather than only means. The nil default adds no
 	// work and no allocation to the request loop.
 	Telemetry *telemetry.Registry
+	// Outage models partial site failure (the degraded mode of the live
+	// cluster's repository fallback). The zero value simulates a perfectly
+	// healthy cluster.
+	Outage OutageConfig
+}
+
+// OutageConfig is the simulator's degraded mode: each page view finds its
+// local site unavailable with probability 1-Availability, in which case the
+// whole view — HTML, every compulsory object, every optional request — is
+// served by the repository (the paper's always-on root; Eq. 5 degenerates
+// to the remote chain) and pays FailoverDelay seconds of detection and
+// retry cost. Outage draws come from a dedicated random stream, so enabling
+// the mode never perturbs the request sequence policies are compared on.
+type OutageConfig struct {
+	// Enabled turns the mode on; with it off the other fields are ignored.
+	Enabled bool
+	// Availability is the probability a page view finds its site up, in
+	// [0, 1]. 0 models a repository-only system (every view degraded).
+	Availability float64
+	// FailoverDelay is added to every degraded view's response time — the
+	// cost of discovering the outage and re-routing (timeouts, retries).
+	FailoverDelay units.Seconds
+}
+
+// Validate rejects unusable outage configs.
+func (o *OutageConfig) Validate() error {
+	if !o.Enabled {
+		return nil
+	}
+	if o.Availability < 0 || o.Availability > 1 {
+		return fmt.Errorf("httpsim: Availability %v outside [0, 1]", o.Availability)
+	}
+	if o.FailoverDelay < 0 {
+		return fmt.Errorf("httpsim: negative FailoverDelay")
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's simulation parameters for a workload.
@@ -99,6 +135,9 @@ type Result struct {
 
 	// LocalRequests / RepoRequests count HTTP requests by server side.
 	LocalRequests, RepoRequests int64
+	// DegradedViews counts page views served entirely by the repository
+	// because their local site was unavailable (Config.Outage).
+	DegradedViews int64
 
 	alpha1, alpha2 float64
 }
@@ -167,6 +206,9 @@ func Run(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg Config, s
 	if err := cfg.Perturb.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Outage.Validate(); err != nil {
+		return nil, err
+	}
 	if len(est.Sites) != w.NumSites() {
 		return nil, fmt.Errorf("httpsim: %d estimates for %d sites", len(est.Sites), w.NumSites())
 	}
@@ -214,6 +256,7 @@ func Run(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg Config, s
 		res.SitePageRT[o.site] = o.partial.SitePageRT[o.site]
 		res.LocalRequests += o.partial.LocalRequests
 		res.RepoRequests += o.partial.RepoRequests
+		res.DegradedViews += o.partial.DegradedViews
 		if cfg.RetainSamples {
 			for _, v := range o.partial.Samples.Values() {
 				res.Samples.Add(v)
@@ -253,6 +296,9 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 	perturbStream := stream.Split(2)
 	optStream := stream.Split(3)
 	arrivalStream := stream.Split(4)
+	// Outage draws come from their own stream so enabling degraded mode
+	// cannot shift the page/perturbation/optional sequences.
+	outageStream := stream.Split(5)
 
 	perturber, err := netsim.NewPerturber(cfg.Perturb, est.Site(int(i)), perturbStream)
 	if err != nil {
@@ -263,7 +309,7 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 	// allocation per request) when disabled or during warmup. Sites run
 	// concurrently, so the instruments' atomics are the synchronization.
 	var pageHist, optHist *telemetry.Histogram
-	var cLocalReq, cRepoReq, cSplit, cLocalOnly, cRemoteOnly *telemetry.Counter
+	var cLocalReq, cRepoReq, cSplit, cLocalOnly, cRemoteOnly, cDegraded *telemetry.Counter
 	if out != nil {
 		reg := cfg.Telemetry
 		pageHist = reg.Histogram("httpsim.page_rt_seconds", telemetry.LatencyBuckets)
@@ -273,6 +319,7 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 		cSplit = reg.Counter("httpsim.views.split")
 		cLocalOnly = reg.Counter("httpsim.views.local_only")
 		cRemoteOnly = reg.Counter("httpsim.views.remote_only")
+		cDegraded = reg.Counter("httpsim.views.degraded")
 	}
 
 	// Fluid queues for the occupancy extension; the repository queue is
@@ -307,11 +354,26 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 		localOvhd := perturber.LocalOvhd()
 		repoOvhd := perturber.RepoOvhd()
 
+		// Degraded mode: with the site down for this view, every transfer —
+		// the HTML included — degenerates to the repository chain.
+		siteUp := true
+		if cfg.Outage.Enabled {
+			siteUp = outageStream.Bool(cfg.Outage.Availability)
+		}
+
 		var localBytes, remoteBytes units.ByteSize
-		localBytes = pg.HTMLSize
-		localReqs, repoReqs := int64(1), int64(0)
+		var localReqs, repoReqs int64
+		if siteUp {
+			localBytes = pg.HTMLSize
+			localReqs = 1
+		} else {
+			remoteBytes = pg.HTMLSize
+			repoReqs = 1
+		}
 		for idx, k := range pg.Compulsory {
-			if dec.CompLocal(j, idx) {
+			// The decider is always consulted so stateful policies (LRU)
+			// evolve identically whether or not the site is up.
+			if dec.CompLocal(j, idx) && siteUp {
 				localBytes += w.ObjectSize(k)
 				localReqs++
 			} else {
@@ -320,16 +382,23 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 			}
 		}
 
-		localT := localOvhd + localRate.TransferTime(localBytes)
-		var remoteT units.Seconds
+		var localT, remoteT units.Seconds
+		if localReqs > 0 {
+			localT = localOvhd + localRate.TransferTime(localBytes)
+		}
 		if repoReqs > 0 {
 			remoteT = repoOvhd + repoRate.TransferTime(remoteBytes) +
 				units.Seconds(float64(cfg.RemoteRedirectPenalty)*float64(repoReqs))
 		}
+		if !siteUp {
+			remoteT += cfg.Outage.FailoverDelay
+		}
 
 		if cfg.Queueing {
 			clock += arrivalStream.Uniform(0, 2*interArrival) // mean 1/rate
-			localT += units.Seconds(siteQ.delay(clock, float64(localReqs)))
+			if localReqs > 0 {
+				localT += units.Seconds(siteQ.delay(clock, float64(localReqs)))
+			}
 			if repoReqs > 0 {
 				remoteT += units.Seconds(repoQ.delay(clock, float64(repoReqs)))
 			}
@@ -338,8 +407,11 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 		pageRT := float64(units.MaxSeconds(localT, remoteT))
 		pageHist.Observe(pageRT)
 		// Chain-split classification of the compulsory set (the HTML
-		// itself is always local, so localReqs > 1 means local objects).
+		// itself is local when the site is up, so localReqs > 1 means
+		// local objects). Degraded views form their own class.
 		switch {
+		case !siteUp:
+			cDegraded.Inc()
 		case repoReqs > 0 && localReqs > 1:
 			cSplit.Inc()
 		case repoReqs > 0:
@@ -363,8 +435,9 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 				// consumption policy-independent.
 				lr, rr := perturber.LocalRate(), perturber.RepoRate()
 				lo, ro := perturber.LocalOvhd(), perturber.RepoOvhd()
+				optLocal := dec.OptLocal(j, idx) && siteUp
 				var t units.Seconds
-				if dec.OptLocal(j, idx) {
+				if optLocal {
 					t = lo + lr.TransferTime(size)
 					localReqs++
 				} else {
@@ -372,7 +445,7 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 					repoReqs++
 				}
 				if cfg.Queueing {
-					if dec.OptLocal(j, idx) {
+					if optLocal {
 						t += units.Seconds(siteQ.delay(clock, 1))
 					} else {
 						t += units.Seconds(repoQ.delay(clock, 1))
@@ -394,6 +467,9 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 			out.OptPerView.Add(optTotal)
 			out.LocalRequests += localReqs
 			out.RepoRequests += repoReqs
+			if !siteUp {
+				out.DegradedViews++
+			}
 			if cfg.RetainSamples {
 				out.Samples.Add(pageRT)
 			}

@@ -1,0 +1,121 @@
+package httpsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policies"
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+// outageCfg returns a small config with degraded mode armed.
+func outageCfg(t *testing.T, avail float64) (Config, int64) {
+	t.Helper()
+	w, _ := simEnv(t, 51)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 200
+	cfg.Outage = OutageConfig{Enabled: true, Availability: avail, FailoverDelay: 0.05}
+	return cfg, int64(200 * w.NumSites())
+}
+
+func TestOutageDeterministic(t *testing.T) {
+	w, est := simEnv(t, 51)
+	cfg, _ := outageCfg(t, 0.7)
+	run := func() (float64, int64) {
+		res, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PageRT.Mean(), res.DegradedViews
+	}
+	m1, d1 := run()
+	m2, d2 := run()
+	if m1 != m2 || d1 != d2 {
+		t.Errorf("identical degraded runs differ: (%v, %d) vs (%v, %d)", m1, d1, m2, d2)
+	}
+	if d1 == 0 {
+		t.Error("availability 0.7 produced no degraded views")
+	}
+}
+
+func TestOutageDoesNotPerturbHealthyRuns(t *testing.T) {
+	// Availability 1 must reproduce the disabled-mode run exactly: outage
+	// draws come from a dedicated stream and a certain draw consumes none.
+	w, est := simEnv(t, 52)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 150
+	base, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Outage = OutageConfig{Enabled: true, Availability: 1, FailoverDelay: 1}
+	up, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.DegradedViews != 0 {
+		t.Errorf("availability 1 degraded %d views", up.DegradedViews)
+	}
+	if base.PageRT.Mean() != up.PageRT.Mean() {
+		t.Errorf("armed-but-healthy outage changed RT: %v vs %v",
+			base.PageRT.Mean(), up.PageRT.Mean())
+	}
+}
+
+func TestOutageInflatesResponseTime(t *testing.T) {
+	w, est := simEnv(t, 51)
+	means := make([]float64, 0, 3)
+	for _, avail := range []float64{1, 0.5, 0} {
+		cfg, _ := outageCfg(t, avail)
+		res, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		means = append(means, res.PageRT.Mean())
+	}
+	if !(means[0] < means[1] && means[1] < means[2]) {
+		t.Errorf("RT not monotone in unavailability: %v", means)
+	}
+}
+
+func TestOutageAvailabilityZeroIsRepositoryOnly(t *testing.T) {
+	w, est := simEnv(t, 51)
+	cfg, views := outageCfg(t, 0)
+	res, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedViews != views {
+		t.Errorf("degraded views = %d, want all %d", res.DegradedViews, views)
+	}
+	if res.LocalRequests != 0 {
+		t.Errorf("repository-only run issued %d local requests", res.LocalRequests)
+	}
+	if res.RepoRequests == 0 {
+		t.Error("repository-only run issued no repo requests")
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	w, est := simEnv(t, 51)
+	for _, bad := range []OutageConfig{
+		{Enabled: true, Availability: -0.1},
+		{Enabled: true, Availability: 1.5},
+		{Enabled: true, Availability: 0.5, FailoverDelay: units.Seconds(-1)},
+	} {
+		cfg := DefaultConfig(w)
+		cfg.Outage = bad
+		if _, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(1)); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		} else if !strings.Contains(err.Error(), "httpsim") {
+			t.Errorf("unexpected error text %q", err)
+		}
+	}
+	// Disabled mode ignores out-of-range fields.
+	cfg := DefaultConfig(w)
+	cfg.Outage = OutageConfig{Enabled: false, Availability: -5}
+	if _, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(1)); err != nil {
+		t.Errorf("disabled outage rejected: %v", err)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/htmlrefs"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -21,6 +23,24 @@ type PageResult struct {
 	LocalChain   ChainResult // objects fetched from the local server
 	RemoteChain  ChainResult // objects fetched from the repository
 	OptionalRefs []htmlrefs.Ref
+
+	// Retries counts extra request attempts beyond each first try (HTML and
+	// objects, including attempts on the fallback route).
+	Retries int
+	// Fallbacks counts MO fetches that failed on their assigned server and
+	// were re-routed to the repository. Fallback objects and bytes are
+	// accounted in RemoteChain — the repository is who actually served them.
+	Fallbacks int
+	// DegradedHTML reports that the page document itself came from the
+	// repository's master copy because the hosting site was unreachable;
+	// every reference then points at the repository (Eq. 5's remote chain).
+	DegradedHTML bool
+}
+
+// Degraded reports whether any part of the download abandoned its assigned
+// server for the repository.
+func (r *PageResult) Degraded() bool {
+	return r.DegradedHTML || r.Fallbacks > 0
 }
 
 // ChainResult summarizes one parallel download chain.
@@ -30,32 +50,133 @@ type ChainResult struct {
 	Elapsed time.Duration
 }
 
+// ClientOptions tunes the client's resilience behaviour. The zero value of
+// each field selects the default noted on it; Timeout and Retries accept -1
+// to mean "disabled" (no request deadline / single attempt).
+type ClientOptions struct {
+	// Timeout bounds each HTTP request end to end (connect through body).
+	// Default 15s; -1 disables, restoring the hang-forever behaviour only a
+	// test should want.
+	Timeout time.Duration
+	// Retries is the number of extra attempts after a failed request.
+	// Attempts are spaced by exponential backoff with seeded jitter.
+	// Default 2; -1 disables retries.
+	Retries int
+	// BackoffBase is the first retry's nominal delay (default 25ms); each
+	// further retry doubles it up to BackoffMax (default 1s). The actual
+	// delay is uniformly jittered in [d/2, d).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the backoff jitter stream, making retry schedules
+	// reproducible for a fixed request order.
+	JitterSeed uint64
+	// FallbackBase, when set, is the repository's base URL: a request whose
+	// retries are exhausted on a local server is re-issued there — the
+	// repository stores every object (and every page's master copy), so the
+	// download completes via the remote chain instead of failing.
+	FallbackBase string
+	// Metrics, when non-nil, receives the client's resilience counters
+	// (client.retries, client.fallbacks, client.degraded_pages,
+	// client.request_failures).
+	Metrics *telemetry.Registry
+}
+
+// DefaultClientOptions returns the production defaults described above.
+func DefaultClientOptions() ClientOptions {
+	return ClientOptions{
+		Timeout:     15 * time.Second,
+		Retries:     2,
+		BackoffBase: 25 * time.Millisecond,
+		BackoffMax:  time.Second,
+	}
+}
+
+// normalize resolves zero values to defaults and -1 sentinels to off.
+func (o ClientOptions) normalize() ClientOptions {
+	def := DefaultClientOptions()
+	if o.Timeout == 0 {
+		o.Timeout = def.Timeout
+	} else if o.Timeout < 0 {
+		o.Timeout = 0
+	}
+	if o.Retries == 0 {
+		o.Retries = def.Retries
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = def.BackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = def.BackoffMax
+	}
+	return o
+}
+
 // Client downloads pages the way the paper's browser model does: the HTML
 // first, then the embedded (compulsory) objects split by host into two
 // chains fetched concurrently — one persistent connection per host, objects
 // pipelined sequentially on each — with the page time being the max of the
 // chains. Optional links are returned, not fetched (the user may request
 // them separately via FetchObject).
+//
+// The client is resilient: every request carries a timeout, failures are
+// retried with exponential backoff and seeded jitter, and — when a
+// FallbackBase is configured — a request that keeps failing on a local
+// server degrades to the repository, which stores everything. The paper's
+// Section-2 premise (repository as always-on root, replicas as
+// accelerators) is exactly what makes that degradation sound.
 type Client struct {
 	w    *workload.Workload
 	http *http.Client
+	opts ClientOptions
 	// Verify makes the client check every object's synthetic content.
+	// Verification failures (corrupt or truncated bodies) count as request
+	// failures and are retried.
 	Verify bool
+
+	// jitter drives backoff randomization; guarded by jmu because the two
+	// chains retry concurrently.
+	jmu    sync.Mutex
+	jitter *rng.Stream
+
+	cRetries, cFallbacks, cDegraded, cFailures *telemetry.Counter
 }
 
-// NewClient builds a client for the workload.
+// NewClient builds a client for the workload with DefaultClientOptions —
+// in particular a 15s per-request timeout, so a stalled server can no
+// longer hang FetchPage forever.
 func NewClient(w *workload.Workload) *Client {
-	return &Client{
-		w: w,
+	return NewClientOptions(w, ClientOptions{})
+}
+
+// NewClientOptions builds a client with explicit resilience options.
+func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
+	opts = opts.normalize()
+	c := &Client{
+		w:    w,
+		opts: opts,
 		http: &http.Client{
+			Timeout: opts.Timeout,
 			Transport: &http.Transport{
 				MaxIdleConnsPerHost: 4,
 			},
 		},
+		jitter: rng.New(opts.JitterSeed),
 	}
+	if reg := opts.Metrics; reg != nil {
+		c.cRetries = reg.Counter("client.retries")
+		c.cFallbacks = reg.Counter("client.fallbacks")
+		c.cDegraded = reg.Counter("client.degraded_pages")
+		c.cFailures = reg.Counter("client.request_failures")
+	}
+	return c
 }
 
-// get fetches a URL fully.
+// Options returns the client's normalized options.
+func (c *Client) Options() ClientOptions { return c.opts }
+
+// get fetches a URL fully, once.
 func (c *Client) get(url string) ([]byte, error) {
 	resp, err := c.http.Get(url)
 	if err != nil {
@@ -63,9 +184,95 @@ func (c *Client) get(url string) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("webserve: GET %s: %s", url, resp.Status)
+		// Drain so the persistent connection is reusable.
+		io.Copy(io.Discard, resp.Body)
+		return nil, &statusError{url: url, code: resp.StatusCode, status: resp.Status}
 	}
 	return io.ReadAll(resp.Body)
+}
+
+// statusError is a non-200 response; 5xx are retryable, 4xx are not (a 404
+// from a local server means the placement does not store the object — a
+// routing fact, not a transient fault).
+type statusError struct {
+	url    string
+	code   int
+	status string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("webserve: GET %s: %s", e.url, e.status)
+}
+
+// retryable classifies an error: transport failures, timeouts, short reads
+// and 5xx responses are worth retrying; 4xx are authoritative.
+func retryable(err error) bool {
+	if se, ok := err.(*statusError); ok {
+		return se.code >= 500
+	}
+	return err != nil
+}
+
+// backoff returns the jittered delay before retry attempt (1-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase << uint(attempt-1)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return d/2 + time.Duration(c.jitter.Uniform(0, float64(d/2)))
+}
+
+// getRetry fetches a URL with the configured retry budget; verify, when
+// non-nil, validates the body and its failure counts as a retryable error
+// (truncated and corrupted transfers look exactly like that).
+func (c *Client) getRetry(url string, verify func([]byte) error) (data []byte, retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		data, err = c.get(url)
+		if err == nil && verify != nil {
+			err = verify(data)
+		}
+		if err == nil {
+			return data, retries, nil
+		}
+		if !retryable(err) || attempt >= c.opts.Retries {
+			c.cFailures.Inc()
+			return nil, retries, err
+		}
+		retries++
+		c.cRetries.Inc()
+		time.Sleep(c.backoff(attempt + 1))
+	}
+}
+
+// moVerifier returns the content check for object k (nil unless Verify).
+func (c *Client) moVerifier(k workload.ObjectID) func([]byte) error {
+	if !c.Verify {
+		return nil
+	}
+	return func(data []byte) error { return VerifyObject(c.w, k, data) }
+}
+
+// fetchMO downloads one object from url, degrading to the repository when
+// the assigned server keeps failing and a fallback base is configured.
+func (c *Client) fetchMO(url string, k workload.ObjectID) (data []byte, retries int, fellBack bool, err error) {
+	data, retries, err = c.getRetry(url, c.moVerifier(k))
+	if err == nil {
+		return data, retries, false, nil
+	}
+	fb := c.opts.FallbackBase
+	if fb == "" || hostOf(url) == fb {
+		return nil, retries, false, err
+	}
+	c.cFallbacks.Inc()
+	data, r2, err2 := c.getRetry(fb+htmlrefs.MOPath(k), c.moVerifier(k))
+	retries += r2
+	if err2 != nil {
+		// Report the original failure; the fallback error wraps context.
+		return nil, retries, true, fmt.Errorf("%v (repository fallback also failed: %v)", err, err2)
+	}
+	return data, retries, true, nil
 }
 
 // hostOf extracts scheme://host of a URL (everything before the path).
@@ -83,14 +290,31 @@ func hostOf(url string) string {
 }
 
 // FetchPage downloads page j from pageURL: the HTML, then every embedded
-// object grouped by host and fetched in per-host chains concurrently.
+// object grouped by host and fetched in per-host chains concurrently. With
+// a FallbackBase configured the download survives local-server failures:
+// objects re-route to the repository, and if even the HTML is unreachable
+// the repository's master copy of the page (whose references all point at
+// the repository) serves the view fully degraded.
 func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, error) {
 	start := time.Now()
-	doc, err := c.get(pageURL)
+	res := &PageResult{Page: j}
+
+	doc, retries, err := c.getRetry(pageURL, nil)
+	res.Retries += retries
 	if err != nil {
-		return nil, err
+		fb := c.opts.FallbackBase
+		if fb == "" || hostOf(pageURL) == fb || !retryable(err) {
+			return nil, err
+		}
+		doc, retries, err = c.getRetry(fb+htmlrefs.PagePath(j), nil)
+		res.Retries += retries
+		if err != nil {
+			return nil, fmt.Errorf("page %d unreachable on site and repository: %w", j, err)
+		}
+		res.DegradedHTML = true
+		c.cDegraded.Inc()
 	}
-	res := &PageResult{Page: j, HTMLBytes: int64(len(doc))}
+	res.HTMLBytes = int64(len(doc))
 
 	refs := htmlrefs.ParseRefs(doc)
 	chains := map[string][]htmlrefs.Ref{}
@@ -106,9 +330,12 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 
 	pageHost := hostOf(pageURL)
 	type chainOut struct {
-		host string
-		res  ChainResult
-		err  error
+		host      string
+		res       ChainResult
+		fbObjects int
+		fbBytes   int64
+		retries   int
+		err       error
 	}
 	hosts := make([]string, 0, len(chains))
 	for h := range chains {
@@ -123,32 +350,39 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 		go func(hi int, host string) {
 			defer wg.Done()
 			cs := time.Now()
-			var cr ChainResult
+			out := chainOut{host: host}
 			for _, r := range chains[host] {
-				data, err := c.get(host + htmlrefs.MOPath(r.Object))
+				data, retries, fellBack, err := c.fetchMO(host+htmlrefs.MOPath(r.Object), r.Object)
+				out.retries += retries
 				if err != nil {
-					outs[hi] = chainOut{host: host, err: err}
+					out.err = err
+					outs[hi] = out
 					return
 				}
-				if c.Verify {
-					if err := VerifyObject(c.w, r.Object, data); err != nil {
-						outs[hi] = chainOut{host: host, err: err}
-						return
-					}
+				if fellBack {
+					out.fbObjects++
+					out.fbBytes += int64(len(data))
+				} else {
+					out.res.Objects++
+					out.res.Bytes += int64(len(data))
 				}
-				cr.Objects++
-				cr.Bytes += int64(len(data))
 			}
-			cr.Elapsed = time.Since(cs)
-			outs[hi] = chainOut{host: host, res: cr}
+			out.res.Elapsed = time.Since(cs)
+			outs[hi] = out
 		}(hi, host)
 	}
 	wg.Wait()
 
 	for _, o := range outs {
+		res.Retries += o.retries
+		res.Fallbacks += o.fbObjects
 		if o.err != nil {
 			return nil, o.err
 		}
+		// Fallback objects were served by the repository regardless of the
+		// chain that requested them.
+		res.RemoteChain.Objects += o.fbObjects
+		res.RemoteChain.Bytes += o.fbBytes
 		if o.host == pageHost {
 			res.LocalChain = o.res
 		} else {
@@ -163,13 +397,16 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 	return res, nil
 }
 
-// FetchObject downloads one optional object as the document doc links it.
+// FetchObject downloads one optional object as the document doc links it,
+// with the same retry/fallback protection as compulsory objects.
 func (c *Client) FetchObject(doc []byte, r htmlrefs.Ref) ([]byte, error) {
-	return c.get(string(doc[r.Start:r.End]))
+	data, _, _, err := c.fetchMO(string(doc[r.Start:r.End]), r.Object)
+	return data, err
 }
 
 // GetDoc fetches a URL and returns the raw body — the served HTML as a
 // browser would receive it.
 func (c *Client) GetDoc(url string) ([]byte, error) {
-	return c.get(url)
+	data, _, err := c.getRetry(url, nil)
+	return data, err
 }

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
-// ClusterOptions controls the optional observability wiring of a cluster.
+// ClusterOptions controls the optional observability and chaos wiring of a
+// cluster.
 type ClusterOptions struct {
 	// Metrics registers per-site request/byte/hit-miss counters in a
 	// cluster-wide registry and serves it as a JSON snapshot at /metrics on
@@ -18,14 +21,22 @@ type ClusterOptions struct {
 	// Requires Metrics-independent opt-in: profiling endpoints expose
 	// internals and cost a mux lookup per request.
 	Pprof bool
+	// Faults arms deterministic fault injection: each server's handler is
+	// wrapped in the plan's injector middleware (errors, resets, truncated
+	// bodies, latency, outage windows). Nil serves a healthy cluster.
+	Faults *faults.Plan
+	// ShutdownTimeout bounds Close's graceful drain (default 5s).
+	ShutdownTimeout time.Duration
 }
 
 // setTelemetry hooks the repository's counters into the registry. A nil
 // registry leaves the nil no-op counters in place.
 func (r *Repository) setTelemetry(reg *telemetry.Registry) {
 	r.cRequests = reg.Counter("repo.mo_requests")
+	r.cPages = reg.Counter("repo.page_requests")
 	r.cBytes = reg.Counter("repo.bytes")
 	r.cMisses = reg.Counter("repo.misses")
+	r.cWriteErrs = reg.Counter("repo.write_errors")
 }
 
 // siteCounterPrefix names the registry namespace of one site's counters.
@@ -40,6 +51,7 @@ func (s *LocalServer) setTelemetry(reg *telemetry.Registry) {
 	s.cMOs = reg.Counter(prefix + "mo_requests")
 	s.cBytes = reg.Counter(prefix + "bytes")
 	s.cMisses = reg.Counter(prefix + "misses")
+	s.cWriteErrs = reg.Counter(prefix + "write_errors")
 }
 
 // wrapMux wraps a handler with the optional /metrics and /debug/pprof/

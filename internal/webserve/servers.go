@@ -1,13 +1,17 @@
 package webserve
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/htmlrefs"
 	"repro/internal/model"
 	"repro/internal/telemetry"
@@ -15,13 +19,21 @@ import (
 )
 
 // Repository is the central multimedia repository's HTTP handler: it serves
-// every object at /mo/<id> and counts requests.
+// every object at /mo/<id> and — as the system's authoritative always-on
+// root — every page's master copy at /page/<id>, rendered with all
+// references pointing back at the repository itself. Clients normally never
+// ask it for pages; the resilient client does exactly that when a page's
+// hosting site is down, completing the view via Eq. 5's remote chain.
 type Repository struct {
 	w        *workload.Workload
 	requests atomic.Int64
+	pages    atomic.Int64
+
+	mu   sync.RWMutex
+	base string // external base URL, set once serving
 
 	// Telemetry counters; nil (no-op) unless the cluster enables metrics.
-	cRequests, cBytes, cMisses *telemetry.Counter
+	cRequests, cPages, cBytes, cMisses, cWriteErrs *telemetry.Counter
 }
 
 // NewRepository builds the repository handler.
@@ -32,20 +44,55 @@ func NewRepository(w *workload.Workload) *Repository {
 // Requests returns the number of MO requests served.
 func (r *Repository) Requests() int64 { return r.requests.Load() }
 
+// PageRequests returns the number of degraded-mode page requests served.
+func (r *Repository) PageRequests() int64 { return r.pages.Load() }
+
+// SetBase records the repository's external base URL, used when rendering
+// master-copy pages. Must be called before serving.
+func (r *Repository) SetBase(base string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.base = base
+}
+
+// Base returns the configured base URL.
+func (r *Repository) Base() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.base
+}
+
 // ServeHTTP implements http.Handler.
 func (r *Repository) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
-	k, ok := htmlrefs.ParseMOPath(req.URL.Path)
-	if !ok || int(k) >= r.w.NumObjects() {
-		r.cMisses.Inc()
-		http.NotFound(rw, req)
+	if k, ok := htmlrefs.ParseMOPath(req.URL.Path); ok && int(k) < r.w.NumObjects() {
+		r.requests.Add(1)
+		r.cRequests.Inc()
+		r.cBytes.Add(int64(r.w.ObjectSize(k)))
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.Header().Set("Content-Length", strconv.FormatInt(int64(r.w.ObjectSize(k)), 10))
+		if _, err := io.Copy(rw, ObjectReader(r.w, k)); err != nil {
+			// The client went away (or a fault cut the connection) —
+			// visible in telemetry instead of silently dropped.
+			r.cWriteErrs.Inc()
+		}
 		return
 	}
-	r.requests.Add(1)
-	r.cRequests.Inc()
-	r.cBytes.Add(int64(r.w.ObjectSize(k)))
-	rw.Header().Set("Content-Type", "application/octet-stream")
-	rw.Header().Set("Content-Length", strconv.FormatInt(int64(r.w.ObjectSize(k)), 10))
-	io.Copy(rw, ObjectReader(r.w, k))
+	if j, ok := htmlrefs.ParsePagePath(req.URL.Path); ok && int(j) < r.w.NumPages() {
+		// The master copy: every reference targets the repository, so a
+		// degraded client completes the whole view against the root.
+		doc := htmlrefs.RenderPage(r.w, j, r.Base())
+		r.pages.Add(1)
+		r.cPages.Inc()
+		r.cBytes.Add(int64(len(doc)))
+		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+		rw.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+		if _, err := rw.Write(doc); err != nil {
+			r.cWriteErrs.Inc()
+		}
+		return
+	}
+	r.cMisses.Inc()
+	http.NotFound(rw, req)
 }
 
 // LocalServer is one site's HTTP handler: it serves its hosted pages at
@@ -68,7 +115,7 @@ type LocalServer struct {
 	pageCount atomic.Int64
 
 	// Telemetry counters; nil (no-op) unless the cluster enables metrics.
-	cPages, cMOs, cBytes, cMisses *telemetry.Counter
+	cPages, cMOs, cBytes, cMisses, cWriteErrs *telemetry.Counter
 }
 
 // NewLocalServer builds the site's handler from a placement. repoBase is
@@ -148,7 +195,9 @@ func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		s.cBytes.Add(int64(len(doc)))
 		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
 		rw.Header().Set("Content-Length", strconv.Itoa(len(doc)))
-		rw.Write(doc)
+		if _, err := rw.Write(doc); err != nil {
+			s.cWriteErrs.Inc()
+		}
 		return
 	}
 	if k, ok := htmlrefs.ParseMOPath(req.URL.Path); ok {
@@ -173,7 +222,9 @@ func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		s.cBytes.Add(int64(s.w.ObjectSize(k)))
 		rw.Header().Set("Content-Type", "application/octet-stream")
 		rw.Header().Set("Content-Length", strconv.FormatInt(int64(s.w.ObjectSize(k)), 10))
-		io.Copy(rw, ObjectReader(s.w, k))
+		if _, err := io.Copy(rw, ObjectReader(s.w, k)); err != nil {
+			s.cWriteErrs.Inc()
+		}
 		return
 	}
 	s.cMisses.Inc()
@@ -181,19 +232,29 @@ func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 }
 
 // Cluster is a running deployment: the repository plus one HTTP server per
-// site, all on loopback listeners.
+// site, all on loopback listeners. The cluster supports chaos drills
+// (ClusterOptions.Faults, KillSite/RestartSite) and shuts down gracefully:
+// Close drains in-flight responses under a deadline instead of cutting
+// connections mid-body.
 type Cluster struct {
-	W          *workload.Workload
-	Repo       *Repository
-	RepoBase   string
-	Sites      []*LocalServer
-	SiteBases  []string
-	httpServer []*http.Server
-	closers    []func() error
+	W         *workload.Workload
+	Repo      *Repository
+	RepoBase  string
+	Sites     []*LocalServer
+	SiteBases []string
 
 	// Metrics is the cluster-wide registry behind every server's /metrics
 	// endpoint; nil unless ClusterOptions.Metrics was set.
 	Metrics *telemetry.Registry
+
+	start           time.Time
+	shutdownTimeout time.Duration
+
+	mu           sync.Mutex
+	repoSrv      *http.Server
+	siteSrvs     []*http.Server // nil entries are killed sites
+	siteHandlers []http.Handler // wrapped handlers, reused on restart
+	siteAddrs    []string       // last bound address per site
 }
 
 // StartCluster listens on ephemeral loopback ports for the repository and
@@ -203,24 +264,39 @@ func StartCluster(w *workload.Workload, p *model.Placement) (*Cluster, error) {
 	return StartClusterOptions(w, p, ClusterOptions{})
 }
 
-// StartClusterOptions is StartCluster with the observability wiring of
-// ClusterOptions: a shared metrics registry served at /metrics on every
-// server, and optional pprof endpoints.
+// StartClusterOptions is StartCluster with the observability and chaos
+// wiring of ClusterOptions: a shared metrics registry served at /metrics on
+// every server, optional pprof endpoints, and optional deterministic fault
+// injection. Every server additionally answers /healthz (200 "ok"), routed
+// through the fault middleware so probes observe injected outages.
 func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterOptions) (*Cluster, error) {
-	c := &Cluster{W: w}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{W: w, start: time.Now(), shutdownTimeout: opts.ShutdownTimeout}
+	if c.shutdownTimeout <= 0 {
+		c.shutdownTimeout = 5 * time.Second
+	}
 	if opts.Metrics {
 		c.Metrics = telemetry.NewRegistry()
 	}
+	// The outage-window clock: elapsed time since the cluster (and with it
+	// the fault plan) was armed.
+	clock := func() time.Duration { return time.Since(c.start) }
 
 	repo := NewRepository(w)
 	repo.setTelemetry(c.Metrics)
-	repoBase, stop, err := serve(repo, c.Metrics, opts.Pprof)
+	repoHandler := c.buildHandler(repo, opts, opts.Faults.RepoInjector(), "faults.repo.", clock)
+	repoBase, repoSrv, err := serve(repoHandler)
 	if err != nil {
 		return nil, err
 	}
 	c.Repo = repo
 	c.RepoBase = repoBase
-	c.closers = append(c.closers, stop)
+	c.repoSrv = repoSrv
+	repo.SetBase(repoBase)
 
 	for i := 0; i < w.NumSites(); i++ {
 		ls, err := NewLocalServer(w, workload.SiteID(i), p, repoBase)
@@ -229,7 +305,8 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 			return nil, err
 		}
 		ls.setTelemetry(c.Metrics)
-		base, stop, err := serve(ls, c.Metrics, opts.Pprof)
+		h := c.buildHandler(ls, opts, opts.Faults.SiteInjector(i), fmt.Sprintf("faults.site.%d.", i), clock)
+		base, srv, err := serve(h)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -237,37 +314,177 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 		ls.SetBase(base)
 		c.Sites = append(c.Sites, ls)
 		c.SiteBases = append(c.SiteBases, base)
-		c.closers = append(c.closers, stop)
+		c.siteSrvs = append(c.siteSrvs, srv)
+		c.siteHandlers = append(c.siteHandlers, h)
+		c.siteAddrs = append(c.siteAddrs, addrOf(base))
 	}
 	return c, nil
 }
 
+// buildHandler assembles one server's handler chain, innermost first:
+// application → /healthz → fault injection → /metrics + pprof. Health
+// probes pass through the fault middleware (a dying site must look like
+// one), while the observability endpoints stay outside it — chaos is
+// precisely when /metrics must keep answering.
+func (c *Cluster) buildHandler(app http.Handler, opts ClusterOptions, inj *faults.Injector, prefix string, clock func() time.Duration) http.Handler {
+	h := withHealthz(app)
+	if inj != nil && !inj.Spec().Quiet() {
+		h = faults.Middleware(inj, clock, faults.MetricsFor(c.Metrics, prefix), h)
+	}
+	return wrapMux(h, c.Metrics, opts.Pprof)
+}
+
+// withHealthz answers /healthz ahead of the application handler.
+func withHealthz(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/healthz" {
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(rw, "ok\n")
+			return
+		}
+		h.ServeHTTP(rw, req)
+	})
+}
+
 // serve starts an http.Server on an ephemeral loopback port and returns its
-// base URL and a stopper. A non-nil registry adds /metrics (and optionally
-// pprof) routes in front of the handler.
-func serve(h http.Handler, reg *telemetry.Registry, withPprof bool) (base string, stop func() error, err error) {
+// base URL and the server for lifecycle control.
+func serve(h http.Handler) (base string, srv *http.Server, err error) {
 	ln, err := listenLoopback()
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: wrapMux(h, reg, withPprof)}
+	srv = &http.Server{Handler: h}
 	go srv.Serve(ln)
-	return fmt.Sprintf("http://%s", ln.Addr().String()), srv.Close, nil
+	return fmt.Sprintf("http://%s", ln.Addr().String()), srv, nil
 }
 
-// Close shuts every server down.
-func (c *Cluster) Close() error {
-	var first error
-	for _, stop := range c.closers {
-		if err := stop(); err != nil && first == nil {
-			first = err
+// addrOf strips the scheme from a base URL.
+func addrOf(base string) string {
+	const scheme = "http://"
+	if len(base) > len(scheme) && base[:len(scheme)] == scheme {
+		return base[len(scheme):]
+	}
+	return base
+}
+
+// KillSite hard-stops site i's HTTP server — listener closed, in-flight
+// connections cut — simulating a crashed machine. Requests to the site then
+// fail with connection errors until RestartSite. The LocalServer state
+// (counters, reference database) survives, as a remounted disk would.
+func (c *Cluster) KillSite(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.siteSrvs) {
+		return fmt.Errorf("webserve: no site %d", i)
+	}
+	srv := c.siteSrvs[i]
+	if srv == nil {
+		return fmt.Errorf("webserve: site %d is already down", i)
+	}
+	c.siteSrvs[i] = nil
+	return srv.Close()
+}
+
+// RestartSite brings a killed site back, preferring its previous address so
+// already-rewritten documents keep working; if the port was reclaimed it
+// falls back to a fresh ephemeral one and updates SiteBases.
+func (c *Cluster) RestartSite(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.siteSrvs) {
+		return fmt.Errorf("webserve: no site %d", i)
+	}
+	if c.siteSrvs[i] != nil {
+		return fmt.Errorf("webserve: site %d is not down", i)
+	}
+	ln, err := net.Listen("tcp", c.siteAddrs[i])
+	if err != nil {
+		if ln, err = listenLoopback(); err != nil {
+			return err
 		}
 	}
-	return first
+	srv := &http.Server{Handler: c.siteHandlers[i]}
+	go srv.Serve(ln)
+	c.siteSrvs[i] = srv
+	base := fmt.Sprintf("http://%s", ln.Addr().String())
+	if base != c.SiteBases[i] {
+		c.SiteBases[i] = base
+		c.Sites[i].SetBase(base)
+		c.siteAddrs[i] = addrOf(base)
+	}
+	return nil
+}
+
+// SiteDown reports whether site i is currently killed.
+func (c *Cluster) SiteDown(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return i >= 0 && i < len(c.siteSrvs) && c.siteSrvs[i] == nil
+}
+
+// Shutdown stops every server gracefully, letting in-flight responses
+// drain until ctx expires; servers still busy at the deadline are then
+// hard-closed. The first error (other than the expected closed-server
+// state) is returned.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	srvs := make([]*http.Server, 0, len(c.siteSrvs)+1)
+	if c.repoSrv != nil {
+		srvs = append(srvs, c.repoSrv)
+		c.repoSrv = nil
+	}
+	for i, srv := range c.siteSrvs {
+		if srv != nil {
+			srvs = append(srvs, srv)
+			c.siteSrvs[i] = nil
+		}
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(srvs))
+	for i, srv := range srvs {
+		wg.Add(1)
+		go func(i int, srv *http.Server) {
+			defer wg.Done()
+			if err := srv.Shutdown(ctx); err != nil {
+				srv.Close() // deadline hit: cut what is left
+				errs[i] = err
+			}
+		}(i, srv)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the cluster down gracefully under the configured deadline
+// (ClusterOptions.ShutdownTimeout, default 5s).
+func (c *Cluster) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.shutdownTimeout)
+	defer cancel()
+	return c.Shutdown(ctx)
 }
 
 // PageURL returns the URL of page j on its hosting site.
 func (c *Cluster) PageURL(j workload.PageID) string {
 	site := c.W.Pages[j].Site
 	return c.SiteBases[site] + htmlrefs.PagePath(j)
+}
+
+// Client builds a resilient client wired to this cluster: repository
+// fallback enabled and, when the cluster has metrics, the client's
+// resilience counters registered in the same registry.
+func (c *Cluster) Client(opts ClientOptions) *Client {
+	if opts.FallbackBase == "" {
+		opts.FallbackBase = c.RepoBase
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = c.Metrics
+	}
+	return NewClientOptions(c.W, opts)
 }

@@ -187,6 +187,10 @@ type (
 	SimResult = httpsim.Result
 	// Policy decides, per page view, which objects are served locally.
 	Policy = httpsim.Decider
+	// OutageConfig arms the simulator's degraded mode: page views find
+	// their local site down with probability 1-Availability and are served
+	// entirely by the repository.
+	OutageConfig = httpsim.OutageConfig
 )
 
 // DefaultSimConfig returns the paper's simulation parameters.
@@ -304,6 +308,13 @@ func PeriodStudy(opts ExperimentOptions) (*Figure, error) {
 // trade-off under tight storage.
 func WeightsStudy(opts ExperimentOptions) (*Figure, error) {
 	return experiments.WeightsStudy(opts)
+}
+
+// DegradedMode sweeps site availability and compares replication policies
+// against the repository-only floor (the robustness study behind the live
+// cluster's repository fallback).
+func DegradedMode(opts ExperimentOptions) (*Figure, error) {
+	return experiments.DegradedMode(opts)
 }
 
 // Telemetry: the instrumentation substrate (internal/telemetry).

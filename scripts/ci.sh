@@ -26,7 +26,15 @@ echo "== tests =="
 go test ./...
 
 echo "== race (concurrent packages) =="
-go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/ ./internal/telemetry/ ./internal/accesslog/
+go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/ ./internal/telemetry/ ./internal/accesslog/ ./internal/faults/
+
+echo "== chaos / degraded-mode (race) =="
+# The robustness surface end to end under the race detector: fault-plan
+# determinism, injector middleware, client retry + repository fallback, the
+# full-outage acceptance path, cluster kill/restart, and the simulator's
+# degraded mode.
+go test -race -count=1 -run 'Fault|Generate|Injector|Middleware|Retr|Fall|Backoff|Timeout|Outage|Chaos|Degraded|KillAndRestart|GracefulShutdown|Healthz|WriteError' \
+    ./internal/faults/ ./internal/webserve/ ./internal/httpsim/ ./internal/experiments/
 
 echo "== coverage (internal/core floor ${CI_CORE_COVER_FLOOR:=90}%) =="
 cover_out=$(mktemp)
