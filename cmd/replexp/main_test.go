@@ -101,3 +101,21 @@ func TestRunPlot(t *testing.T) {
 		t.Error("plot legend missing")
 	}
 }
+
+func TestRunRecovery(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "recovery", "-scale", "quick", "-runs", "1", "-progress=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"== Recovery: self-healing under a scripted site outage ==",
+		"mean MTTR:",
+		"Self-healing",
+		"Fallback only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,10 +12,16 @@
 // servers; the resilient client retries and falls back to the repository, so
 // every fetch still completes.
 //
+// With -heal a self-healing supervisor probes every site's /healthz and,
+// when a site stops answering (say, under -chaos outage windows), computes a
+// repair plan — the dead site's pages re-homed onto survivors, replicas
+// re-replicated — and applies it to the live cluster without a restart,
+// reinstating the original placement once the site returns.
+//
 // Usage:
 //
 //	replserve [-seed N] [-storage F] [-fetch N] [-adapt] [-metrics] [-serve]
-//	          [-chaos LEVEL]
+//	          [-chaos LEVEL] [-heal]
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"repro"
 	"repro/internal/accesslog"
+	"repro/internal/controller"
 	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/webserve"
@@ -44,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 	metrics := fs.Bool("metrics", false, "serve a /metrics JSON snapshot and /debug/pprof/ on every server")
 	serve := fs.Bool("serve", false, "keep serving until interrupted instead of exiting")
 	chaos := fs.Float64("chaos", 0, "fault-injection level in [0,1]; 0 = healthy cluster")
+	heal := fs.Bool("heal", false, "run the self-healing supervisor: probe /healthz, repair around dead sites, recover when they return")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +107,23 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "metrics:    %s/metrics (and /debug/pprof/, on every server)\n", cluster.RepoBase)
 	}
 	fmt.Fprintf(stdout, "example page: %s\n\n", cluster.PageURL(w.Sites[0].Pages[0]))
+
+	if *heal {
+		sup := controller.New(env, placement, cluster, controller.Options{
+			Metrics: cluster.Metrics,
+			Log:     stdout,
+		})
+		sup.Start()
+		defer func() {
+			sup.Stop()
+			repairs, recoveries := sup.Counts()
+			fmt.Fprintf(stdout, "supervisor: %d repairs, %d recoveries applied\n", repairs, recoveries)
+			if err := sup.Err(); err != nil {
+				fmt.Fprintf(stdout, "supervisor: last error: %v\n", err)
+			}
+		}()
+		fmt.Fprintln(stdout, "self-healing: supervisor probing every site's /healthz (down after 3 missed probes, repair applied live)")
+	}
 
 	if *fetch > 0 {
 		client := cluster.Client(webserve.ClientOptions{JitterSeed: *seed})

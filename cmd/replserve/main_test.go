@@ -62,3 +62,20 @@ func TestRunServeRejectsBadChaosLevel(t *testing.T) {
 		t.Error("chaos level 1.5 accepted")
 	}
 }
+
+func TestRunServeHeal(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fetch", "4", "-heal", "-chaos", "0.3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"self-healing: supervisor probing",
+		"fetched 4 pages",
+		"repairs, ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

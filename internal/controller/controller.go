@@ -1,0 +1,409 @@
+// Package controller is the self-healing supervisor: a probe loop over
+// every site's /healthz endpoint drives a per-site state machine
+// (up → suspect → down → recovering → up), and the down/up transitions
+// trigger the repair planner — the repaired placement is pushed into the
+// live cluster with no restarts, and the original placement reinstated when
+// every dead site returns. The paper plans once and assumes sites stay up;
+// this loop closes the gap between that static plan and a production
+// system's churn (ROADMAP: production-scale north star).
+//
+// Detection is K-of-N: a site must fail FailThreshold consecutive probes
+// before it is declared down (one lost probe makes it suspect, not dead),
+// and must answer OKThreshold consecutive probes before a recovery is
+// attempted — both thresholds damp flapping. Every transition is recorded
+// and counted in telemetry.
+package controller
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/repair"
+	"repro/internal/telemetry"
+	"repro/internal/webserve"
+	"repro/internal/workload"
+)
+
+// SiteState is one site's position in the supervisor's state machine.
+type SiteState int
+
+const (
+	// Up: the site answers probes and serves its (possibly repaired) pages.
+	Up SiteState = iota
+	// Suspect: at least one probe failed, fewer than FailThreshold in a row.
+	Suspect
+	// Down: FailThreshold consecutive probes failed; the site's pages are
+	// re-homed by the active repair plan.
+	Down
+	// Recovering: a down site answered OKThreshold consecutive probes; the
+	// supervisor is reinstating the pre-failure placement.
+	Recovering
+)
+
+func (s SiteState) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	case Recovering:
+		return "recovering"
+	default:
+		return fmt.Sprintf("SiteState(%d)", int(s))
+	}
+}
+
+// Transition is one recorded state change.
+type Transition struct {
+	At   time.Duration // since Start
+	Site workload.SiteID
+	From SiteState
+	To   SiteState
+}
+
+// Options tunes the supervisor.
+type Options struct {
+	// ProbeInterval is the health-check period (default 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default ProbeInterval).
+	ProbeTimeout time.Duration
+	// FailThreshold is K: consecutive failed probes before a site is
+	// declared down (default 3).
+	FailThreshold int
+	// OKThreshold is the consecutive successful probes a down site must
+	// answer before recovery (default 2).
+	OKThreshold int
+	// Workers bounds the repair planner's concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Metrics, when non-nil, receives the controller counters
+	// (controller.probes, controller.probe_failures, controller.repairs,
+	// controller.recoveries, controller.transitions) and the
+	// controller.sites_down gauge.
+	Metrics *telemetry.Registry
+	// Log, when non-nil, receives one line per transition and repair.
+	Log io.Writer
+}
+
+func (o Options) normalize() Options {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ProbeInterval
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.OKThreshold <= 0 {
+		o.OKThreshold = 2
+	}
+	return o
+}
+
+// Supervisor runs the control loop against one cluster.
+type Supervisor struct {
+	env     *model.Env
+	healthy *model.Placement
+	cluster *webserve.Cluster
+	opts    Options
+	probe   *http.Client
+	start   time.Time
+
+	mu          sync.Mutex
+	states      []SiteState
+	fails       []int
+	oks         []int
+	plan        *repair.Plan // active repair plan; nil while healthy
+	transitions []Transition
+	repairs     int
+	recoveries  int
+	lastErr     error
+
+	cProbes, cProbeFails, cRepairs, cRecoveries, cTransitions *telemetry.Counter
+	gDown                                                     *telemetry.Gauge
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a supervisor for a running cluster. env and placement are the
+// healthy planning environment and the placement the cluster was started
+// with — the state every recovery restores.
+func New(env *model.Env, p *model.Placement, cluster *webserve.Cluster, opts Options) *Supervisor {
+	opts = opts.normalize()
+	s := &Supervisor{
+		env:     env,
+		healthy: p,
+		cluster: cluster,
+		opts:    opts,
+		probe:   &http.Client{Timeout: opts.ProbeTimeout},
+		states:  make([]SiteState, env.W.NumSites()),
+		fails:   make([]int, env.W.NumSites()),
+		oks:     make([]int, env.W.NumSites()),
+	}
+	if reg := opts.Metrics; reg != nil {
+		s.cProbes = reg.Counter("controller.probes")
+		s.cProbeFails = reg.Counter("controller.probe_failures")
+		s.cRepairs = reg.Counter("controller.repairs")
+		s.cRecoveries = reg.Counter("controller.recoveries")
+		s.cTransitions = reg.Counter("controller.transitions")
+		s.gDown = reg.Gauge("controller.sites_down")
+	}
+	return s
+}
+
+// Start launches the probe loop. Stop ends it.
+func (s *Supervisor) Start() {
+	s.start = time.Now()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop()
+}
+
+// Stop ends the probe loop and waits for it to exit.
+func (s *Supervisor) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+func (s *Supervisor) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.tick()
+		}
+	}
+}
+
+// tick probes every site once and feeds the state machine.
+func (s *Supervisor) tick() {
+	n := s.env.W.NumSites()
+	ok := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ok[i] = s.probeSite(i)
+		}(i)
+	}
+	wg.Wait()
+	s.observe(ok)
+}
+
+// probeSite performs one /healthz check.
+func (s *Supervisor) probeSite(i int) bool {
+	s.cProbes.Inc()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, s.cluster.SiteBases[i]+"/healthz", nil)
+	if err != nil {
+		s.cProbeFails.Inc()
+		return false
+	}
+	resp, err := s.probe.Do(req)
+	if err != nil {
+		s.cProbeFails.Inc()
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.cProbeFails.Inc()
+		return false
+	}
+	return true
+}
+
+// observe advances every site's state machine on one probe round, then
+// reconciles the cluster if any site crossed the down or recovered edge.
+func (s *Supervisor) observe(ok []bool) {
+	s.mu.Lock()
+	now := time.Since(s.start)
+	wentDown, cameBack := false, false
+	for i := range ok {
+		st := s.states[i]
+		switch {
+		case ok[i]:
+			s.fails[i] = 0
+			switch st {
+			case Suspect:
+				s.setState(i, Up, now)
+			case Down:
+				s.oks[i]++
+				if s.oks[i] >= s.opts.OKThreshold {
+					s.setState(i, Recovering, now)
+					cameBack = true
+				}
+			}
+		default:
+			s.oks[i] = 0
+			switch st {
+			case Up:
+				s.fails[i] = 1
+				s.setState(i, Suspect, now)
+			case Suspect:
+				s.fails[i]++
+				if s.fails[i] >= s.opts.FailThreshold {
+					s.setState(i, Down, now)
+					wentDown = true
+				}
+			case Recovering:
+				// Flapped during recovery: back to down.
+				s.setState(i, Down, now)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if wentDown || cameBack {
+		s.reconcile()
+	}
+}
+
+// setState records a transition (mu held).
+func (s *Supervisor) setState(i int, to SiteState, at time.Duration) {
+	from := s.states[i]
+	if from == to {
+		return
+	}
+	s.states[i] = to
+	s.transitions = append(s.transitions, Transition{At: at, Site: workload.SiteID(i), From: from, To: to})
+	s.cTransitions.Inc()
+	s.logf("t=%v site %d: %v -> %v", at.Round(time.Millisecond), i, from, to)
+}
+
+// reconcile drives the cluster to match the current down set: a repair plan
+// over the down sites, or the healthy placement when none remain. Sites in
+// Recovering move to Up once the placement push succeeds.
+func (s *Supervisor) reconcile() {
+	s.mu.Lock()
+	var down []workload.SiteID
+	for i, st := range s.states {
+		if st == Down {
+			down = append(down, workload.SiteID(i))
+		}
+	}
+	s.gDown.Set(float64(len(down)))
+	s.mu.Unlock()
+
+	if len(down) == 0 {
+		// Full recovery: reinstate the healthy placement and routing.
+		if err := s.cluster.ApplyPlan(s.env.W, s.healthy); err != nil {
+			s.fail(fmt.Errorf("controller: recovery apply: %w", err))
+			return
+		}
+		s.mu.Lock()
+		s.plan = nil
+		s.recoveries++
+		now := time.Since(s.start)
+		for i, st := range s.states {
+			if st == Recovering {
+				s.setState(i, Up, now)
+			}
+		}
+		s.mu.Unlock()
+		s.cRecoveries.Inc()
+		s.logf("recovered: healthy placement reinstated")
+		return
+	}
+
+	plan, err := repair.Compute(s.env, s.healthy, down, repair.Options{Workers: s.opts.Workers})
+	if err != nil {
+		s.fail(fmt.Errorf("controller: repair plan: %w", err))
+		return
+	}
+	if err := s.cluster.ApplyPlan(plan.Env.W, plan.Placement); err != nil {
+		s.fail(fmt.Errorf("controller: repair apply: %w", err))
+		return
+	}
+	s.mu.Lock()
+	s.plan = plan
+	s.repairs++
+	now := time.Since(s.start)
+	for i, st := range s.states {
+		if st == Recovering {
+			// Partial recovery: this site is healthy again but others are
+			// still down; the fresh plan no longer re-homes its pages.
+			s.setState(i, Up, now)
+		}
+	}
+	s.mu.Unlock()
+	s.cRepairs.Inc()
+	s.logf("repaired: %d sites down, %d pages re-homed, D %.4f -> %.4f (degraded %.4f)",
+		len(down), len(plan.Delta.Rehomed), plan.Delta.DHealthy, plan.Delta.DAfter, plan.Delta.DBefore)
+}
+
+// fail records a reconcile error (visible via Err) without killing the loop.
+func (s *Supervisor) fail(err error) {
+	s.mu.Lock()
+	s.lastErr = err
+	s.mu.Unlock()
+	s.logf("%v", err)
+}
+
+func (s *Supervisor) logf(format string, args ...interface{}) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, "controller: "+format+"\n", args...)
+	}
+}
+
+// States snapshots the per-site states.
+func (s *Supervisor) States() []SiteState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SiteState(nil), s.states...)
+}
+
+// Transitions snapshots the recorded transitions.
+func (s *Supervisor) Transitions() []Transition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Transition(nil), s.transitions...)
+}
+
+// CurrentPlan returns the active repair plan, nil while healthy.
+func (s *Supervisor) CurrentPlan() *repair.Plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan
+}
+
+// Counts returns how many repairs and recoveries the supervisor has applied.
+func (s *Supervisor) Counts() (repairs, recoveries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairs, s.recoveries
+}
+
+// Err returns the last reconcile error, nil if none.
+func (s *Supervisor) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// WaitFor polls until pred over the state snapshot holds or the timeout
+// expires; it reports whether the predicate was met. A test/CLI helper —
+// the loop itself never blocks on it.
+func (s *Supervisor) WaitFor(pred func([]SiteState) bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if pred(s.States()) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(s.opts.ProbeInterval / 4)
+	}
+}

@@ -1,0 +1,223 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+	"repro/internal/webserve"
+	"repro/internal/workload"
+)
+
+// healEnv builds a 3-site planned deployment small enough to probe fast.
+func healEnv(t *testing.T) (*model.Env, *model.Placement) {
+	t.Helper()
+	cfg := workload.SmallConfig()
+	cfg.Sites = 3
+	cfg.PagesPerSiteMin, cfg.PagesPerSiteMax = 4, 6
+	cfg.GlobalObjects, cfg.ObjectsPerSite, cfg.ObjectsPerMax = 90, 30, 45
+	cfg.MOClasses = []workload.SizeClass{
+		{Frac: 0.5, Lo: 2 * units.KB, Hi: 8 * units.KB},
+		{Frac: 0.5, Lo: 8 * units.KB, Hi: 32 * units.KB},
+	}
+	w := workload.MustGenerate(cfg, 66)
+	est, err := netsim.DrawEstimates(netsim.DefaultConfig(), w.NumSites(), rng.New(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := model.NewEnv(w, est, model.FullBudgets(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := core.Plan(env, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, p
+}
+
+// TestStateMachineTransitions drives the supervisor's observe step with
+// synthetic probe rounds — no timing, fully deterministic — and checks the
+// damping thresholds, the repair on the down edge, and the recovery once
+// the site answers again.
+func TestStateMachineTransitions(t *testing.T) {
+	env, p := healEnv(t)
+	cluster, err := webserve.StartCluster(env.W, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	s := New(env, p, cluster, Options{FailThreshold: 3, OKThreshold: 2, Workers: 1})
+	up, down := []bool{true, true, true}, []bool{false, true, true}
+
+	// One lost probe suspects, the next success clears — no repair.
+	s.observe(down)
+	if st := s.States()[0]; st != Suspect {
+		t.Fatalf("after 1 failure: %v, want suspect", st)
+	}
+	s.observe(up)
+	if st := s.States()[0]; st != Up {
+		t.Fatalf("after recovery probe: %v, want up", st)
+	}
+	if s.CurrentPlan() != nil {
+		t.Fatal("a suspect blip triggered a repair")
+	}
+
+	// FailThreshold consecutive failures declare the site down and repair.
+	for i := 0; i < 3; i++ {
+		s.observe(down)
+	}
+	if st := s.States()[0]; st != Down {
+		t.Fatalf("after 3 failures: %v, want down", st)
+	}
+	plan := s.CurrentPlan()
+	if plan == nil {
+		t.Fatal("down transition produced no repair plan")
+	}
+	for _, pid := range env.W.Sites[0].Pages {
+		if to := cluster.Route(pid); to == 0 {
+			t.Fatalf("page %d still routed to the dead site", pid)
+		}
+	}
+
+	// One good probe is not recovery; an interleaved failure resets.
+	s.observe(up)
+	s.observe(down)
+	s.observe(up)
+	if st := s.States()[0]; st != Down {
+		t.Fatalf("after flapping: %v, want down", st)
+	}
+	// OKThreshold consecutive successes recover and reinstate routing.
+	s.observe(up)
+	if st := s.States()[0]; st != Up {
+		t.Fatalf("after %d good probes: %v, want up", 2, st)
+	}
+	if s.CurrentPlan() != nil {
+		t.Fatal("recovery left a repair plan active")
+	}
+	for _, pid := range env.W.Sites[0].Pages {
+		if to := cluster.Route(pid); to != 0 {
+			t.Fatalf("page %d routed to %d after recovery, want home site 0", pid, to)
+		}
+	}
+	repairs, recoveries := s.Counts()
+	if repairs != 1 || recoveries != 1 {
+		t.Fatalf("repairs=%d recoveries=%d, want 1 and 1", repairs, recoveries)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealEndToEnd is the acceptance test: under a killed site the running
+// supervisor detects the failure within the probe window, converges to a
+// repaired placement, and steady-state fetches of every page complete with
+// ZERO repository fallbacks — versus PR 3's permanent degraded mode — then
+// a restart recovers the original placement.
+func TestHealEndToEnd(t *testing.T) {
+	env, p := healEnv(t)
+	reg := telemetry.NewRegistry()
+	cluster, err := webserve.StartClusterOptions(env.W, p, webserve.ClusterOptions{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	s := New(env, p, cluster, Options{
+		ProbeInterval: 20 * time.Millisecond,
+		FailThreshold: 3,
+		OKThreshold:   2,
+		Workers:       2,
+		Metrics:       reg,
+	})
+	s.Start()
+	defer func() {
+		if s.stop != nil {
+			select {
+			case <-s.done:
+			default:
+				s.Stop()
+			}
+		}
+	}()
+
+	fetchAll := func(label string, wantSite0Home bool) {
+		t.Helper()
+		client := cluster.Client(webserve.ClientOptions{
+			Timeout:     2 * time.Second,
+			Retries:     2,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  4 * time.Millisecond,
+		})
+		client.Verify = true
+		for j := range env.W.Pages {
+			pid := workload.PageID(j)
+			res, err := client.FetchPage(cluster.PageURL(pid), pid)
+			if err != nil {
+				t.Fatalf("%s: page %d: %v", label, pid, err)
+			}
+			if res.Degraded() {
+				t.Fatalf("%s: page %d degraded (fallbacks=%d degradedHTML=%v) — the repaired cluster must serve without the repository fallback",
+					label, pid, res.Fallbacks, res.DegradedHTML)
+			}
+		}
+		for _, pid := range env.W.Sites[0].Pages {
+			home := cluster.Route(pid) == 0
+			if home != wantSite0Home {
+				t.Fatalf("%s: page %d routed to site %d", label, pid, cluster.Route(pid))
+			}
+		}
+	}
+
+	fetchAll("healthy", true)
+
+	if err := cluster.KillSite(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.WaitFor(func(st []SiteState) bool { return st[0] == Down }, 5*time.Second) {
+		t.Fatalf("site 0 never declared down; states=%v", s.States())
+	}
+	if s.CurrentPlan() == nil {
+		t.Fatal("down site has no active repair plan")
+	}
+	// Steady state under repair: every page — including the dead site's,
+	// now re-homed — served with zero fallbacks.
+	fetchAll("repaired", false)
+	if reg.Counter("controller.repairs").Value() == 0 {
+		t.Fatal("repair not counted in telemetry")
+	}
+
+	if err := cluster.RestartSite(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.WaitFor(func(st []SiteState) bool {
+		for _, v := range st {
+			if v != Up {
+				return false
+			}
+		}
+		return true
+	}, 5*time.Second) {
+		t.Fatalf("cluster never recovered; states=%v", s.States())
+	}
+	if s.CurrentPlan() != nil {
+		t.Fatal("recovered supervisor still holds a repair plan")
+	}
+	fetchAll("recovered", true)
+	if reg.Counter("controller.recoveries").Value() == 0 {
+		t.Fatal("recovery not counted in telemetry")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	if v := reg.Counter("controller.probes").Value(); v == 0 {
+		t.Fatal("probe loop never probed")
+	}
+}

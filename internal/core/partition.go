@@ -64,6 +64,22 @@ func (pl *Planner) partitionPage(j workload.PageID, bySize bool) {
 	}
 }
 
+// AdmitPage runs the full per-page admission of PARTITION on page j at its
+// current host site: the compulsory split, then storing every optional
+// object locally with its download marked local (Section 4.2's "Store all
+// optional objects"). It is PartitionSite restricted to one page — the
+// primitive the repair planner uses to re-home a dead site's page onto a
+// survivor without disturbing the survivor's other pages. Constraint
+// restoration afterwards trims whatever does not fit.
+func (pl *Planner) AdmitPage(j workload.PageID) {
+	pl.PartitionPage(j)
+	pg := &pl.env.W.Pages[j]
+	for idx, l := range pg.Optional {
+		pl.p.Store(pg.Site, l.Object)
+		pl.flipOpt(j, idx, true)
+	}
+}
+
 // PartitionSite runs PARTITION on every page of site i and then stores all
 // optional objects locally (Section 4.2: "Store all optional objects"),
 // marking their downloads local. Constraint restoration afterwards trims

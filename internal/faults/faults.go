@@ -121,7 +121,9 @@ func (p *Plan) Encode() ([]byte, error) {
 	return json.MarshalIndent(p, "", "  ")
 }
 
-// Decode parses a plan previously produced by Encode.
+// Decode parses a plan previously produced by Encode. The result is
+// normalized to the canonical in-memory form (empty slices nil, exactly
+// what Encode omits), so decoding is lossless against re-encoding.
 func Decode(data []byte) (*Plan, error) {
 	var p Plan
 	if err := json.Unmarshal(data, &p); err != nil {
@@ -130,7 +132,24 @@ func Decode(data []byte) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	p.normalize()
 	return &p, nil
+}
+
+// normalize collapses empty slices to nil — the canonical form Encode's
+// omitempty produces — so Decode∘Encode is the identity on decoded plans.
+func (p *Plan) normalize() {
+	if len(p.Sites) == 0 {
+		p.Sites = nil
+	}
+	if len(p.Repo.Outages) == 0 {
+		p.Repo.Outages = nil
+	}
+	for i := range p.Sites {
+		if len(p.Sites[i].Outages) == 0 {
+			p.Sites[i].Outages = nil
+		}
+	}
 }
 
 // SiteSpec returns site i's spec (the zero quiet spec when the plan has

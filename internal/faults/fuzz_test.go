@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// seedPlans returns the generated plans the fuzz corpus is seeded from:
+// every chaos level the CLIs expose plus the hand-built edges (quiet plan,
+// full outage, empty cluster).
+func seedPlans(tb testing.TB) []*Plan {
+	tb.Helper()
+	var plans []*Plan
+	for _, level := range []float64{0, 0.3, 0.6, 1} {
+		cfg := DefaultPlanConfig()
+		cfg.Level = level
+		p, err := Generate(cfg, 4, 7)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	plans = append(plans,
+		&Plan{Seed: 0},
+		&Plan{Seed: 99, Repo: FullOutage(), Sites: []Spec{FullOutage(), {}}},
+	)
+	return plans
+}
+
+// FuzzPlanRoundTrip pins the canonical-JSON contract Plan.Encode/Decode
+// promise: any bytes that decode to a valid plan re-encode to a canonical
+// form that is lossless (decodes to a deeply equal plan) and order-stable
+// (re-encoding the decoded plan reproduces the same bytes). Invalid inputs
+// must be rejected with an error, never a panic.
+func FuzzPlanRoundTrip(f *testing.F) {
+	for _, p := range seedPlans(f) {
+		enc, err := p.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"seed":1,"sites":null}`))
+	f.Add([]byte(`{"seed":1,"repo":{"error_rate":2}}`)) // invalid: rate > 1
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // invalid input rejected cleanly: nothing to round-trip
+		}
+		enc1, err := p.Encode()
+		if err != nil {
+			t.Fatalf("valid plan failed to encode: %v", err)
+		}
+		q, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip lost information:\n was %#v\n now %#v", p, q)
+		}
+		enc2, err := q.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding unstable:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

@@ -87,31 +87,67 @@ func (db *RefDB) ApplyPlacement(w *workload.Workload, p *model.Placement) error 
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for pid, entry := range db.entries {
-		pg := &w.Pages[pid]
-		compIdx := make(map[workload.ObjectID]int, len(pg.Compulsory))
-		for idx, k := range pg.Compulsory {
-			compIdx[k] = idx
-		}
-		optIdx := make(map[workload.ObjectID]int, len(pg.Optional))
-		for idx, l := range pg.Optional {
-			optIdx[l.Object] = idx
-		}
-		for ri, r := range entry.Refs {
-			if r.Optional {
-				idx, ok := optIdx[r.Object]
-				if !ok {
-					return fmt.Errorf("htmlrefs: page %d references unknown optional object %d", pid, r.Object)
-				}
-				entry.Local[ri] = p.OptLocal(pid, idx)
-			} else {
-				idx, ok := compIdx[r.Object]
-				if !ok {
-					return fmt.Errorf("htmlrefs: page %d references unknown compulsory object %d", pid, r.Object)
-				}
-				entry.Local[ri] = p.CompLocal(pid, idx)
-			}
+		if err := applyEntry(w, pid, entry, p); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// applyEntry sets one entry's local/remote decisions from the placement.
+func applyEntry(w *workload.Workload, pid workload.PageID, entry *PageEntry, p *model.Placement) error {
+	pg := &w.Pages[pid]
+	compIdx := make(map[workload.ObjectID]int, len(pg.Compulsory))
+	for idx, k := range pg.Compulsory {
+		compIdx[k] = idx
+	}
+	optIdx := make(map[workload.ObjectID]int, len(pg.Optional))
+	for idx, l := range pg.Optional {
+		optIdx[l.Object] = idx
+	}
+	for ri, r := range entry.Refs {
+		if r.Optional {
+			idx, ok := optIdx[r.Object]
+			if !ok {
+				return fmt.Errorf("htmlrefs: page %d references unknown optional object %d", pid, r.Object)
+			}
+			entry.Local[ri] = p.OptLocal(pid, idx)
+		} else {
+			idx, ok := compIdx[r.Object]
+			if !ok {
+				return fmt.Errorf("htmlrefs: page %d references unknown compulsory object %d", pid, r.Object)
+			}
+			entry.Local[ri] = p.CompLocal(pid, idx)
+		}
+	}
+	return nil
+}
+
+// Rebuild replaces the database wholesale for a (possibly re-homed)
+// workload: the site's page list under w is re-parsed, the placement's
+// decisions applied, and the entry map swapped in atomically with respect
+// to Serve readers. This is how a live server adopts a repair plan that
+// moves pages onto or off it — no restart; a concurrent reader sees either
+// the old database or the new one, never a mix. w must index objects
+// identically to the construction workload (repair's re-homed clones do).
+func (db *RefDB) Rebuild(w *workload.Workload, p *model.Placement, repoBase string) error {
+	entries := make(map[workload.PageID]*PageEntry, len(w.Sites[db.site].Pages))
+	for _, pid := range w.Sites[db.site].Pages {
+		doc := RenderPage(w, pid, repoBase)
+		refs := ParseRefs(doc)
+		sort.Slice(refs, func(a, b int) bool { return refs[a].Start < refs[b].Start })
+		if err := validateRefs(w, pid, refs); err != nil {
+			return err
+		}
+		entry := &PageEntry{Doc: doc, Refs: refs, Local: make([]bool, len(refs))}
+		if err := applyEntry(w, pid, entry, p); err != nil {
+			return err
+		}
+		entries[pid] = entry
+	}
+	db.mu.Lock()
+	db.entries = entries
+	db.mu.Unlock()
 	return nil
 }
 

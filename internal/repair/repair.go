@@ -1,0 +1,551 @@
+// Package repair turns a (placement, down-site set) pair into a
+// deterministic repair plan: the control-plane half of the self-healing
+// story. The paper's planner computes one static X/X′ placement and assumes
+// every site stays up; when a site dies, every view of its pages degrades to
+// the repository's remote chain (Eq. 5 with nothing local) until a human
+// replans. This package replans mechanically instead: the dead site's rows
+// are zeroed, its pages are re-homed onto surviving sites, the re-homed
+// pages run the paper's own PARTITION admission at their new hosts, and the
+// Eq. 8-10 constraint restorations plus the off-loading negotiation re-run
+// on the survivors only — all through the existing core.Planner machinery,
+// so a repair is bit-reproducible for a given (workload, estimates,
+// down-set) at any worker count. A symmetric Recover path describes the
+// return journey when the site comes back.
+//
+// The plan is purely declarative: it names the pages re-homed, the replicas
+// each survivor must copy in (the re-replication traffic), and the predicted
+// objective before and after. internal/controller applies it to a live
+// webserve.Cluster; internal/experiments charges its copy bytes against the
+// estimated repository rates to model time-to-repair.
+package repair
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Options controls repair planning.
+type Options struct {
+	// Workers bounds the per-site restoration concurrency, exactly like
+	// core.Options.Workers: 0 means GOMAXPROCS, 1 forces sequential
+	// execution, and every value produces byte-identical repair plans.
+	Workers int
+}
+
+// Rehome records one page's move off a dead site.
+type Rehome struct {
+	Page workload.PageID `json:"page"`
+	From workload.SiteID `json:"from"`
+	To   workload.SiteID `json:"to"`
+}
+
+// Copy is the re-replication work order for one surviving site: the objects
+// the repaired placement stores there that the pre-failure placement did
+// not. The repository holds every object, so each copy streams from it.
+type Copy struct {
+	Site    workload.SiteID     `json:"site"`
+	Objects []workload.ObjectID `json:"objects"`
+	Bytes   units.ByteSize      `json:"bytes"`
+}
+
+// Delta summarizes what a repair plan changes and predicts.
+type Delta struct {
+	Rehomed []Rehome `json:"rehomed"`
+	Copies  []Copy   `json:"copies,omitempty"`
+	// CopyBytes is the total re-replication traffic across all survivors.
+	CopyBytes units.ByteSize `json:"copyBytes"`
+	// DHealthy is the objective of the original placement with every site up.
+	DHealthy float64 `json:"dHealthy"`
+	// DBefore is the predicted degraded objective while the down sites'
+	// views run entirely over the repository chain (the state PR 3's
+	// fallback client leaves the system in).
+	DBefore float64 `json:"dBefore"`
+	// DAfter is the predicted objective under the repaired placement.
+	DAfter float64 `json:"dAfter"`
+	// Feasible reports Eq. 8-10 on the survivors under the repaired
+	// placement (a false value means the survivors cannot absorb the dead
+	// site's workload within their budgets; the plan still helps, but some
+	// constraint is violated).
+	Feasible bool `json:"feasible"`
+}
+
+// Plan is a complete repair: the re-homed environment, the repaired
+// placement over it, and the delta against the pre-failure state.
+type Plan struct {
+	// Down is the sorted, deduplicated dead-site set the plan repairs.
+	Down []workload.SiteID
+	// Env is the repaired planning environment: the re-homed workload (dead
+	// sites host nothing), the original estimates, and budgets with the dead
+	// sites zeroed.
+	Env *model.Env
+	// Placement is the repaired placement over Env.W.
+	Placement *model.Placement
+	// Delta is the change summary and objective prediction.
+	Delta Delta
+
+	origEnv  *model.Env
+	origPlan *model.Placement
+}
+
+// Original returns the pre-failure environment and placement — what Recover
+// reinstates when the down sites return.
+func (rp *Plan) Original() (*model.Env, *model.Placement) { return rp.origEnv, rp.origPlan }
+
+// Compute builds the repair plan for placement p (over env) with the sites
+// in down dead. At least one site must survive. The computation is a pure
+// function of (env, p, down): no randomness, no wall clock, and the same
+// bytes from Encode at every Options.Workers value.
+func Compute(env *model.Env, p *model.Placement, down []workload.SiteID, opts Options) (*Plan, error) {
+	w := env.W
+	downSet, err := normalizeDown(w, down)
+	if err != nil {
+		return nil, err
+	}
+	survivors := w.NumSites() - len(downSet)
+	if survivors < 1 {
+		return nil, fmt.Errorf("repair: no surviving site (%d of %d down)", len(downSet), w.NumSites())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("repair: pre-failure placement: %w", err)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The new homes: each dead page goes to the survivor with the most
+	// relative headroom at assignment time (pages visited in ID order, so
+	// the rule is deterministic).
+	target := assignHomes(env, downSet)
+
+	w2 := rehomeWorkload(w, target)
+	b2 := zeroDownBudgets(env.Budgets, downSet)
+	env2, err := model.NewEnv(w2, env.Est, b2)
+	if err != nil {
+		return nil, err
+	}
+	env2.Alpha1, env2.Alpha2 = env.Alpha1, env.Alpha2
+
+	// Seed the planner with the pre-failure placement restricted to the
+	// survivors — the dead sites' rows and stores zeroed, the re-homed
+	// pages all-remote.
+	seed := model.NewPlacement(w2)
+	for i := 0; i < w.NumSites(); i++ {
+		id := workload.SiteID(i)
+		if downSet[id] {
+			continue
+		}
+		p.StoredSet(id).ForEach(func(k int) bool {
+			seed.Store(id, workload.ObjectID(k))
+			return true
+		})
+	}
+	for j := range w.Pages {
+		pid := workload.PageID(j)
+		if _, moved := target[pid]; moved {
+			continue
+		}
+		for idx := range w.Pages[j].Compulsory {
+			seed.SetCompLocal(pid, idx, p.CompLocal(pid, idx))
+		}
+		for idx := range w.Pages[j].Optional {
+			seed.SetOptLocal(pid, idx, p.OptLocal(pid, idx))
+		}
+	}
+	pl := core.NewPlanner(env2)
+	if err := pl.AdoptPlacement(seed); err != nil {
+		return nil, fmt.Errorf("repair: seed placement: %w", err)
+	}
+
+	// Re-run the compulsory/optional split for the dead sites' pages at
+	// their new hosts (PARTITION admission, page-ID order).
+	moved := make([]workload.PageID, 0, len(target))
+	for pid := range target {
+		moved = append(moved, pid)
+	}
+	sort.Slice(moved, func(a, b int) bool { return moved[a] < moved[b] })
+	for _, pid := range moved {
+		pl.AdmitPage(pid)
+	}
+
+	// Restore Eq. 10 and Eq. 8 on the survivors. Distinct sites touch
+	// disjoint planner state, so the pool is deterministic at any width —
+	// the same argument as core.Plan's restoration phase.
+	var surviving []workload.SiteID
+	for i := 0; i < w.NumSites(); i++ {
+		if !downSet[workload.SiteID(i)] {
+			surviving = append(surviving, workload.SiteID(i))
+		}
+	}
+	restore := func(i workload.SiteID) {
+		pl.RestoreStorageSite(i)
+		pl.RestoreProcessingSite(i)
+	}
+	if workers <= 1 || len(surviving) <= 1 {
+		for _, i := range surviving {
+			restore(i)
+		}
+	} else {
+		sites := make(chan workload.SiteID)
+		var wg sync.WaitGroup
+		n := workers
+		if n > len(surviving) {
+			n = len(surviving)
+		}
+		for g := 0; g < n; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range sites {
+					restore(i)
+				}
+			}()
+		}
+		for _, i := range surviving {
+			sites <- i
+		}
+		close(sites)
+		wg.Wait()
+	}
+
+	// Eq. 9: the repository absorbed the dead site's whole local service, so
+	// re-negotiate off-loading with the survivors (dead sites have zero
+	// capacity and accept nothing).
+	pl.OffloadParallel(nil, workers, nil)
+
+	repaired := pl.Placement()
+	report := model.Evaluate(env2, repaired)
+
+	rp := &Plan{
+		Down:      downKeys(downSet),
+		Env:       env2,
+		Placement: repaired,
+		origEnv:   env,
+		origPlan:  p,
+	}
+	rp.Delta = Delta{
+		Rehomed:  rehomeList(w, target),
+		DHealthy: model.D(env, p),
+		DBefore:  DegradedD(env, p, downSet),
+		DAfter:   model.D(env2, repaired),
+		Feasible: report.Feasible(),
+	}
+	rp.Delta.Copies, rp.Delta.CopyBytes = copySets(w, p, repaired, surviving)
+	return rp, nil
+}
+
+// Recover describes the return journey once every down site is back: the
+// original placement is reinstated, the re-homed pages move home, and each
+// survivor re-copies the replicas the repair dropped (the returned site's
+// own replicas survived on its disk, so it copies nothing). The result is a
+// Delta whose DBefore is the repaired objective and whose DAfter is the
+// healthy one.
+func (rp *Plan) Recover() Delta {
+	w := rp.origEnv.W
+	back := make([]Rehome, len(rp.Delta.Rehomed))
+	for i, r := range rp.Delta.Rehomed {
+		back[i] = Rehome{Page: r.Page, From: r.To, To: r.From}
+	}
+	var survivors []workload.SiteID
+	downSet := make(map[workload.SiteID]bool, len(rp.Down))
+	for _, i := range rp.Down {
+		downSet[i] = true
+	}
+	for i := 0; i < w.NumSites(); i++ {
+		if !downSet[workload.SiteID(i)] {
+			survivors = append(survivors, workload.SiteID(i))
+		}
+	}
+	copies, bytes := copySets(w, rp.Placement, rp.origPlan, survivors)
+	return Delta{
+		Rehomed:   back,
+		Copies:    copies,
+		CopyBytes: bytes,
+		DHealthy:  rp.Delta.DHealthy,
+		DBefore:   rp.Delta.DAfter,
+		DAfter:    rp.Delta.DHealthy,
+		Feasible:  true,
+	}
+}
+
+// DegradedD predicts the objective of placement p when the sites in down
+// are unreachable and unrepaired: every view of a down site's pages fetches
+// the HTML and all compulsory objects over the repository chain (Eq. 4 with
+// everything remote — PR 3's degraded client), and every optional request
+// goes remote. Pages on surviving sites are untouched: their server and the
+// repository are both up.
+func DegradedD(env *model.Env, p *model.Placement, down map[workload.SiteID]bool) float64 {
+	w := env.W
+	var d1, d2 float64
+	for j := range w.Pages {
+		pid := workload.PageID(j)
+		pg := &w.Pages[j]
+		f := float64(pg.Freq)
+		if !down[pg.Site] {
+			d1 += f * float64(model.PageTime(env, p, pid))
+			d2 += f * float64(model.PageOptionalTime(env, p, pid))
+			continue
+		}
+		est := env.Est.Sites[pg.Site]
+		bytes := pg.HTMLSize
+		for _, k := range pg.Compulsory {
+			bytes += w.ObjectSize(k)
+		}
+		d1 += f * float64(est.RepoOvhd+est.RepoRate.TransferTime(bytes))
+		for _, l := range pg.Optional {
+			d2 += f * l.Prob * float64(est.RepoOvhd+est.RepoRate.TransferTime(w.ObjectSize(l.Object)))
+		}
+	}
+	return env.Alpha1*d1 + env.Alpha2*d2
+}
+
+// DownFreq returns the total page-request rate the down sites hosted — the
+// traffic a repair re-homes (and the weight a per-view failover delay
+// multiplies in the recovery experiment).
+func DownFreq(w *workload.Workload, down map[workload.SiteID]bool) float64 {
+	sum := 0.0
+	for j := range w.Pages {
+		if down[w.Pages[j].Site] {
+			sum += float64(w.Pages[j].Freq)
+		}
+	}
+	return sum
+}
+
+// Encode renders the plan deterministically: the down set, the delta, and
+// the repaired placement, as one JSON document. Two equal plans encode to
+// identical bytes — the property the determinism tests pin.
+func (rp *Plan) Encode() ([]byte, error) {
+	var placement json.RawMessage
+	var buf placementBuffer
+	if err := rp.Placement.Encode(&buf); err != nil {
+		return nil, err
+	}
+	placement = json.RawMessage(buf.data)
+	return json.MarshalIndent(struct {
+		Down      []workload.SiteID `json:"down"`
+		Delta     Delta             `json:"delta"`
+		Placement json.RawMessage   `json:"placement"`
+	}{rp.Down, rp.Delta, placement}, "", "  ")
+}
+
+// placementBuffer collects Placement.Encode output (it writes a trailing
+// newline; trim it so the raw message nests cleanly).
+type placementBuffer struct{ data []byte }
+
+func (b *placementBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	for len(b.data) > 0 && b.data[len(b.data)-1] == '\n' {
+		b.data = b.data[:len(b.data)-1]
+	}
+	return len(p), nil
+}
+
+// normalizeDown validates and dedups the down set.
+func normalizeDown(w *workload.Workload, down []workload.SiteID) (map[workload.SiteID]bool, error) {
+	if len(down) == 0 {
+		return nil, fmt.Errorf("repair: empty down set")
+	}
+	set := make(map[workload.SiteID]bool, len(down))
+	for _, i := range down {
+		if i < 0 || int(i) >= w.NumSites() {
+			return nil, fmt.Errorf("repair: down site %d out of range (workload has %d sites)", i, w.NumSites())
+		}
+		set[i] = true
+	}
+	return set, nil
+}
+
+// downKeys returns the sorted down set.
+func downKeys(set map[workload.SiteID]bool) []workload.SiteID {
+	out := make([]workload.SiteID, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// assignHomes picks each dead page's new host. Pages are visited in ID
+// order; for each, the candidate pool is the survivors with remaining
+// Eq. 8 capacity headroom (all survivors when none has any), and the
+// winner is the candidate whose repository link serves the page's
+// worst-case remote chain (HTML + every compulsory object over
+// RepoOvhd/RepoRate) fastest — at tight storage most re-homed bytes flow
+// over that link, so picking by load share alone can hand a community to
+// a slow survivor and make the repair worse than the repository fallback
+// it replaces. Ties fall back to the smallest projected load share (load
+// over capacity when finite), then the lowest site ID, and the headroom
+// guard keeps any one well-connected survivor from absorbing more traffic
+// than Eq. 8 lets it serve.
+func assignHomes(env *model.Env, down map[workload.SiteID]bool) map[workload.PageID]workload.SiteID {
+	w, b := env.W, env.Budgets
+	load := make([]float64, w.NumSites())
+	for j := range w.Pages {
+		load[w.Pages[j].Site] += float64(w.Pages[j].Freq)
+	}
+	share := func(i workload.SiteID, extra float64) float64 {
+		v := load[i] + extra
+		if c := float64(b.SiteCapacity[i]); c > 0 && !math.IsInf(c, 1) {
+			return v / c
+		}
+		return v
+	}
+	headroom := func(i workload.SiteID, extra float64) bool {
+		c := float64(b.SiteCapacity[i])
+		if c <= 0 || math.IsInf(c, 1) {
+			return true
+		}
+		return load[i]+extra <= c
+	}
+	target := make(map[workload.PageID]workload.SiteID)
+	for j := range w.Pages {
+		pg := &w.Pages[j]
+		if !down[pg.Site] {
+			continue
+		}
+		bytes := pg.HTMLSize
+		for _, k := range pg.Compulsory {
+			bytes += w.ObjectSize(k)
+		}
+		pick := func(requireHeadroom bool) workload.SiteID {
+			best := workload.SiteID(-1)
+			bestT, bestShare := math.Inf(1), math.Inf(1)
+			for i := 0; i < w.NumSites(); i++ {
+				id := workload.SiteID(i)
+				if down[id] || (requireHeadroom && !headroom(id, float64(pg.Freq))) {
+					continue
+				}
+				est := env.Est.Sites[id]
+				t := float64(est.RepoOvhd + est.RepoRate.TransferTime(bytes))
+				s := share(id, float64(pg.Freq))
+				if t < bestT || (t == bestT && s < bestShare) {
+					best, bestT, bestShare = id, t, s
+				}
+			}
+			return best
+		}
+		best := pick(true)
+		if best < 0 {
+			best = pick(false)
+		}
+		target[workload.PageID(j)] = best
+		load[best] += float64(pg.Freq)
+	}
+	return target
+}
+
+// rehomeWorkload clones w with each page in target moved to its new host:
+// Pages[j].Site updated, per-site page lists rebuilt in page-ID order, and
+// each gaining site's object pool extended with the references it inherits.
+// Object and page identities are untouched, so placements over the clone
+// index identically to placements over w.
+func rehomeWorkload(w *workload.Workload, target map[workload.PageID]workload.SiteID) *workload.Workload {
+	w2 := &workload.Workload{
+		Config:  w.Config,
+		Seed:    w.Seed,
+		Objects: w.Objects,
+		Pages:   append([]workload.Page(nil), w.Pages...),
+		Sites:   append([]workload.Site(nil), w.Sites...),
+	}
+	for pid, to := range target {
+		w2.Pages[pid].Site = to
+	}
+	pages := make([][]workload.PageID, len(w2.Sites))
+	for j := range w2.Pages {
+		pages[w2.Pages[j].Site] = append(pages[w2.Pages[j].Site], workload.PageID(j))
+	}
+	for i := range w2.Sites {
+		w2.Sites[i].Pages = pages[i]
+		w2.Sites[i].Objects = extendPool(w, w2.Sites[i].Objects, pages[i])
+	}
+	return w2
+}
+
+// extendPool unions a site's object pool with the references of its (new)
+// page list, sorted ascending.
+func extendPool(w *workload.Workload, pool []workload.ObjectID, pages []workload.PageID) []workload.ObjectID {
+	seen := make(map[workload.ObjectID]bool, len(pool))
+	out := append([]workload.ObjectID(nil), pool...)
+	for _, k := range pool {
+		seen[k] = true
+	}
+	for _, pid := range pages {
+		pg := &w.Pages[pid]
+		for _, k := range pg.Compulsory {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+		for _, l := range pg.Optional {
+			if !seen[l.Object] {
+				seen[l.Object] = true
+				out = append(out, l.Object)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// zeroDownBudgets copies the budgets with every dead site's storage and
+// capacity zeroed: Eq. 8-10 on survivors only.
+func zeroDownBudgets(b model.Budgets, down map[workload.SiteID]bool) model.Budgets {
+	out := model.Budgets{
+		Storage:      append([]units.ByteSize(nil), b.Storage...),
+		SiteCapacity: append([]units.ReqPerSec(nil), b.SiteCapacity...),
+		RepoCapacity: b.RepoCapacity,
+	}
+	for i := range out.Storage {
+		if down[workload.SiteID(i)] {
+			out.Storage[i] = 0
+			out.SiteCapacity[i] = 0
+		}
+	}
+	return out
+}
+
+// rehomeList renders the target map as a sorted Rehome list.
+func rehomeList(w *workload.Workload, target map[workload.PageID]workload.SiteID) []Rehome {
+	out := make([]Rehome, 0, len(target))
+	for pid, to := range target {
+		out = append(out, Rehome{Page: pid, From: w.Pages[pid].Site, To: to})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Page < out[b].Page })
+	return out
+}
+
+// copySets lists, per surviving site, the objects placement b stores there
+// that placement a does not — the replicas to stream from the repository.
+func copySets(w *workload.Workload, a, b *model.Placement, survivors []workload.SiteID) ([]Copy, units.ByteSize) {
+	var out []Copy
+	var total units.ByteSize
+	for _, i := range survivors {
+		var c Copy
+		c.Site = i
+		b.StoredSet(i).ForEach(func(kk int) bool {
+			k := workload.ObjectID(kk)
+			if !a.IsStored(i, k) {
+				c.Objects = append(c.Objects, k)
+				c.Bytes += w.ObjectSize(k)
+			}
+			return true
+		})
+		if len(c.Objects) > 0 {
+			out = append(out, c)
+			total += c.Bytes
+		}
+	}
+	return out, total
+}

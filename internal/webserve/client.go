@@ -75,6 +75,21 @@ type ClientOptions struct {
 	// repository stores every object (and every page's master copy), so the
 	// download completes via the remote chain instead of failing.
 	FallbackBase string
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// per-host circuit breaker: once a host has failed this many getRetry
+	// calls in a row (transient failures only — a 404 is an authoritative
+	// answer from a healthy server), further requests to it fail fast
+	// without touching the network until a cooldown elapses, at which point
+	// a single half-open probe decides whether to close the circuit again.
+	// Fast-failed requests still take the repository fallback, so a tripped
+	// breaker converts retry storms against a dead site into immediate
+	// degraded service. Default 3; -1 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the nominal open interval before the half-open
+	// probe (default 250ms). The actual interval is jittered in [d, 3d/2)
+	// on the breaker's own seeded stream so a fleet of clients does not
+	// re-probe in lockstep.
+	BreakerCooldown time.Duration
 	// Metrics, when non-nil, receives the client's resilience counters
 	// (client.retries, client.fallbacks, client.degraded_pages,
 	// client.request_failures).
@@ -84,10 +99,12 @@ type ClientOptions struct {
 // DefaultClientOptions returns the production defaults described above.
 func DefaultClientOptions() ClientOptions {
 	return ClientOptions{
-		Timeout:     15 * time.Second,
-		Retries:     2,
-		BackoffBase: 25 * time.Millisecond,
-		BackoffMax:  time.Second,
+		Timeout:          15 * time.Second,
+		Retries:          2,
+		BackoffBase:      25 * time.Millisecond,
+		BackoffMax:       time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  250 * time.Millisecond,
 	}
 }
 
@@ -109,6 +126,14 @@ func (o ClientOptions) normalize() ClientOptions {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = def.BackoffMax
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = def.BreakerThreshold
+	} else if o.BreakerThreshold < 0 {
+		o.BreakerThreshold = 0
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = def.BreakerCooldown
 	}
 	return o
 }
@@ -135,13 +160,32 @@ type Client struct {
 	// failures and are retried.
 	Verify bool
 
-	// jitter drives backoff randomization; guarded by jmu because the two
-	// chains retry concurrently.
-	jmu    sync.Mutex
-	jitter *rng.Stream
+	// jitter drives backoff randomization and breakerJitter the breaker's
+	// cooldown spread; guarded by jmu because the two chains retry
+	// concurrently. Both are Split-derived children of the JitterSeed root
+	// (see the stream labels below), never the root itself.
+	jmu           sync.Mutex
+	jitter        *rng.Stream
+	breakerJitter *rng.Stream
+
+	// Per-host circuit breakers, created on first contact.
+	brmu     sync.Mutex
+	breakers map[string]*hostBreaker
 
 	cRetries, cFallbacks, cDegraded, cFailures *telemetry.Counter
+	cTrips, cFastFails                         *telemetry.Counter
 }
+
+// Dedicated rng stream labels for the client's randomized delays. The
+// client used to consume its root stream directly for backoff, so its draw
+// sequence collided with any other consumer seeded with the same value
+// (fault plans included); Split-derived children are pure functions of
+// (seed, label), so client timing noise can never shift another stream's
+// sequence — TestClientJitterIsolatedFromFaultPlans pins this.
+const (
+	clientBackoffStream uint64 = iota + 401
+	clientBreakerStream
+)
 
 // NewClient builds a client for the workload with DefaultClientOptions —
 // in particular a 15s per-request timeout, so a stalled server can no
@@ -162,13 +206,17 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 				MaxIdleConnsPerHost: 4,
 			},
 		},
-		jitter: rng.New(opts.JitterSeed),
+		jitter:        rng.New(opts.JitterSeed).Split(clientBackoffStream),
+		breakerJitter: rng.New(opts.JitterSeed).Split(clientBreakerStream),
+		breakers:      make(map[string]*hostBreaker),
 	}
 	if reg := opts.Metrics; reg != nil {
 		c.cRetries = reg.Counter("client.retries")
 		c.cFallbacks = reg.Counter("client.fallbacks")
 		c.cDegraded = reg.Counter("client.degraded_pages")
 		c.cFailures = reg.Counter("client.request_failures")
+		c.cTrips = reg.Counter("client.breaker_trips")
+		c.cFastFails = reg.Counter("client.breaker_fastfails")
 	}
 	return c
 }
@@ -205,12 +253,104 @@ func (e *statusError) Error() string {
 }
 
 // retryable classifies an error: transport failures, timeouts, short reads
-// and 5xx responses are worth retrying; 4xx are authoritative.
+// and 5xx responses are worth retrying; 4xx are authoritative. An open
+// circuit counts as transient — the host may recover, and meanwhile the
+// repository fallback should take the request.
 func retryable(err error) bool {
 	if se, ok := err.(*statusError); ok {
 		return se.code >= 500
 	}
 	return err != nil
+}
+
+// breakerOpenError is the fast-fail a tripped circuit returns without
+// touching the network.
+type breakerOpenError struct{ host string }
+
+func (e *breakerOpenError) Error() string {
+	return fmt.Sprintf("webserve: circuit open for %s", e.host)
+}
+
+// hostBreaker is one host's circuit: closed (normal service) → open after
+// BreakerThreshold consecutive transient failures (every request fails
+// fast) → half-open once the cooldown elapses (exactly one probe goes
+// through; its outcome closes or re-opens the circuit).
+type hostBreaker struct {
+	mu        sync.Mutex
+	open      bool
+	halfOpen  bool
+	probing   bool
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether a request to the host may proceed right now, and
+// transitions open → half-open when the cooldown has elapsed.
+func (b *hostBreaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.halfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	case b.open:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.open = false
+		b.halfOpen = true
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// onSuccess closes the circuit.
+func (b *hostBreaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open, b.halfOpen, b.probing = false, false, false
+	b.fails = 0
+}
+
+// onFailure records one transient failure; at the threshold (or on a failed
+// half-open probe) the circuit opens until openUntil. Returns whether this
+// call tripped it.
+func (b *hostBreaker) onFailure(threshold int, until time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.halfOpen || b.fails >= threshold {
+		b.open, b.halfOpen, b.probing = true, false, false
+		b.openUntil = until
+		return true
+	}
+	return false
+}
+
+// breakerFor returns (creating if needed) the breaker of a host.
+func (c *Client) breakerFor(host string) *hostBreaker {
+	c.brmu.Lock()
+	defer c.brmu.Unlock()
+	b := c.breakers[host]
+	if b == nil {
+		b = &hostBreaker{}
+		c.breakers[host] = b
+	}
+	return b
+}
+
+// breakerCooldown returns the jittered open interval, drawn from the
+// breaker's dedicated stream.
+func (c *Client) breakerCooldown() time.Duration {
+	d := c.opts.BreakerCooldown
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return d + time.Duration(c.breakerJitter.Uniform(0, float64(d/2)))
 }
 
 // backoff returns the jittered delay before retry attempt (1-based).
@@ -228,16 +368,37 @@ func (c *Client) backoff(attempt int) time.Duration {
 // non-nil, validates the body and its failure counts as a retryable error
 // (truncated and corrupted transfers look exactly like that).
 func (c *Client) getRetry(url string, verify func([]byte) error) (data []byte, retries int, err error) {
+	var br *hostBreaker
+	if c.opts.BreakerThreshold > 0 {
+		br = c.breakerFor(hostOf(url))
+		if !br.allow(time.Now()) {
+			c.cFastFails.Inc()
+			return nil, 0, &breakerOpenError{host: hostOf(url)}
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		data, err = c.get(url)
 		if err == nil && verify != nil {
 			err = verify(data)
 		}
 		if err == nil {
+			if br != nil {
+				br.onSuccess()
+			}
 			return data, retries, nil
 		}
 		if !retryable(err) || attempt >= c.opts.Retries {
 			c.cFailures.Inc()
+			// A non-retryable error is an authoritative answer from a live
+			// server, not evidence the host is down — only transient
+			// failures feed the breaker.
+			if br != nil && retryable(err) {
+				if br.onFailure(c.opts.BreakerThreshold, time.Now().Add(c.breakerCooldown())) {
+					c.cTrips.Inc()
+				}
+			} else if br != nil {
+				br.onSuccess()
+			}
 			return nil, retries, err
 		}
 		retries++

@@ -102,9 +102,10 @@ func (r *Repository) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 // experience in the paper's system. Page accesses are counted per page to
 // feed frequency estimation (Section 2's "statistics collected").
 type LocalServer struct {
-	w    *workload.Workload
-	site workload.SiteID
-	db   *htmlrefs.RefDB
+	w        *workload.Workload
+	site     workload.SiteID
+	db       *htmlrefs.RefDB
+	repoBase string
 
 	mu        sync.RWMutex
 	placement *model.Placement
@@ -125,7 +126,7 @@ func NewLocalServer(w *workload.Workload, site workload.SiteID, p *model.Placeme
 	if err != nil {
 		return nil, err
 	}
-	return &LocalServer{w: w, site: site, db: db, placement: p}, nil
+	return &LocalServer{w: w, site: site, db: db, repoBase: repoBase, placement: p}, nil
 }
 
 // SetBase records the server's external base URL (e.g. http://127.0.0.1:
@@ -148,6 +149,24 @@ func (s *LocalServer) Base() string {
 // database and the replica set update atomically with respect to readers.
 func (s *LocalServer) ApplyPlacement(p *model.Placement) error {
 	if err := s.db.ApplyPlacement(s.w, p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.placement = p
+	s.mu.Unlock()
+	return nil
+}
+
+// Rehome adopts a repair (or recovery) plan: the reference database is
+// rebuilt against w2's page assignment for this site — gaining or losing
+// pages relative to construction time — and the plan's placement governs
+// the replica set from here on. w2 must index objects and sites identically
+// to the construction workload, which repair.Compute's re-homed clones do;
+// the server's own workload pointer is deliberately NOT swapped (ServeHTTP
+// reads it lock-free, and only its object table — identical across the
+// clones — matters there).
+func (s *LocalServer) Rehome(w2 *workload.Workload, p *model.Placement) error {
+	if err := s.db.Rebuild(w2, p, s.repoBase); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -252,9 +271,10 @@ type Cluster struct {
 
 	mu           sync.Mutex
 	repoSrv      *http.Server
-	siteSrvs     []*http.Server // nil entries are killed sites
-	siteHandlers []http.Handler // wrapped handlers, reused on restart
-	siteAddrs    []string       // last bound address per site
+	siteSrvs     []*http.Server    // nil entries are killed sites
+	siteHandlers []http.Handler    // wrapped handlers, reused on restart
+	siteAddrs    []string          // last bound address per site
+	routes       []workload.SiteID // page -> serving site; nil until ApplyPlan
 }
 
 // StartCluster listens on ephemeral loopback ports for the repository and
@@ -470,10 +490,55 @@ func (c *Cluster) Close() error {
 	return c.Shutdown(ctx)
 }
 
-// PageURL returns the URL of page j on its hosting site.
+// ApplyPlan pushes a repaired (or recovered) placement into the running
+// cluster: every live site's server rebuilds its reference database against
+// the plan's workload and adopts the new replica set, and the routing table
+// updates so PageURL sends clients to each page's current host — all
+// without restarting a single server. The cluster's construction workload
+// is untouched; routing state lives entirely in the table, so reapplying
+// the original (env.W, placement) pair is a full recovery.
+func (c *Cluster) ApplyPlan(w2 *workload.Workload, p *model.Placement) error {
+	if w2.NumPages() != c.W.NumPages() || w2.NumSites() != c.W.NumSites() {
+		return fmt.Errorf("webserve: plan shaped for a different workload (%d/%d pages, %d/%d sites)",
+			w2.NumPages(), c.W.NumPages(), w2.NumSites(), c.W.NumSites())
+	}
+	for _, ls := range c.Sites {
+		if err := ls.Rehome(w2, p); err != nil {
+			return err
+		}
+	}
+	routes := make([]workload.SiteID, w2.NumPages())
+	for j := range w2.Pages {
+		routes[j] = w2.Pages[j].Site
+	}
+	c.mu.Lock()
+	c.routes = routes
+	c.mu.Unlock()
+	return nil
+}
+
+// Route returns the site currently serving page j: the routing table's
+// entry after an ApplyPlan, the workload's static assignment before.
+func (c *Cluster) Route(j workload.PageID) workload.SiteID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.routes != nil {
+		return c.routes[j]
+	}
+	return c.W.Pages[j].Site
+}
+
+// PageURL returns the URL of page j on its current serving site (routing
+// table aware — after a repair this points at the page's new home).
 func (c *Cluster) PageURL(j workload.PageID) string {
+	c.mu.Lock()
 	site := c.W.Pages[j].Site
-	return c.SiteBases[site] + htmlrefs.PagePath(j)
+	if c.routes != nil {
+		site = c.routes[j]
+	}
+	base := c.SiteBases[site]
+	c.mu.Unlock()
+	return base + htmlrefs.PagePath(j)
 }
 
 // Client builds a resilient client wired to this cluster: repository

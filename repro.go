@@ -36,6 +36,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netsim"
 	"repro/internal/policies"
+	"repro/internal/repair"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -315,6 +316,43 @@ func WeightsStudy(opts ExperimentOptions) (*Figure, error) {
 // cluster's repository fallback).
 func DegradedMode(opts ExperimentOptions) (*Figure, error) {
 	return experiments.DegradedMode(opts)
+}
+
+// Recovery study: the self-healing control plane's scripted-outage
+// timeline (MTTD/MTTR accounting plus the D-over-time trajectory).
+type (
+	// RecoveryResult is the recovery study's output.
+	RecoveryResult = experiments.RecoveryResult
+	// RecoveryRun is one run's scripted-outage accounting.
+	RecoveryRun = experiments.RecoveryRun
+)
+
+// Recovery plays a scripted worst-case site outage through the repair
+// planner and reports detection and repair times plus the objective's
+// trajectory for a self-healing cluster versus a fallback-only client.
+func Recovery(opts ExperimentOptions) (*RecoveryResult, error) {
+	return experiments.Recovery(opts)
+}
+
+// Repair planning: deterministic re-replication plans for a down-set
+// (internal/repair), the machinery behind the self-healing supervisor.
+type (
+	// RepairPlan is a computed repair: the re-planned environment and
+	// placement over the survivors plus the delta from the healthy state.
+	RepairPlan = repair.Plan
+	// RepairDelta summarizes a repair: pages re-homed, replicas copied,
+	// and the objective before/after.
+	RepairDelta = repair.Delta
+	// RepairOptions tunes the repair planner.
+	RepairOptions = repair.Options
+)
+
+// ComputeRepair plans around the down sites: their pages are re-homed onto
+// survivors and the compulsory/optional split re-run under the surviving
+// budgets. Deterministic for a fixed (env, placement, down) at any worker
+// count.
+func ComputeRepair(env *Env, p *Placement, down []SiteID, opts RepairOptions) (*RepairPlan, error) {
+	return repair.Compute(env, p, down, opts)
 }
 
 // Telemetry: the instrumentation substrate (internal/telemetry).

@@ -26,7 +26,7 @@ echo "== tests =="
 go test ./...
 
 echo "== race (concurrent packages) =="
-go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/ ./internal/telemetry/ ./internal/accesslog/ ./internal/faults/
+go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/ ./internal/telemetry/ ./internal/accesslog/ ./internal/faults/ ./internal/repair/ ./internal/controller/
 
 echo "== chaos / degraded-mode (race) =="
 # The robustness surface end to end under the race detector: fault-plan
@@ -35,6 +35,15 @@ echo "== chaos / degraded-mode (race) =="
 # degraded mode.
 go test -race -count=1 -run 'Fault|Generate|Injector|Middleware|Retr|Fall|Backoff|Timeout|Outage|Chaos|Degraded|KillAndRestart|GracefulShutdown|Healthz|WriteError' \
     ./internal/faults/ ./internal/webserve/ ./internal/httpsim/ ./internal/experiments/
+
+echo "== self-healing (race) =="
+# The control plane end to end under the race detector: repair-plan
+# determinism at several worker counts, the supervisor state machine, the
+# heal-under-kill acceptance path, the circuit breaker, and the jitter
+# stream isolation.
+go test -race -count=1 ./internal/repair/ ./internal/controller/
+go test -race -count=1 -run 'Breaker|Jitter|KillSiteRaces|Recovery' \
+    ./internal/webserve/ ./internal/experiments/
 
 echo "== coverage (internal/core floor ${CI_CORE_COVER_FLOOR:=90}%) =="
 cover_out=$(mktemp)
