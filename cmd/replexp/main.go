@@ -43,7 +43,7 @@ func writeCSV(stdout io.Writer, dir, name string, fig *repro.Figure) error {
 		return err
 	}
 	if err := fig.WriteCSV(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -1,0 +1,96 @@
+// Command repllint runs the repo's custom static-analysis suite
+// (internal/lint) over every package in the module and exits nonzero on
+// any finding. It is stdlib-only by design — no golang.org/x/tools — and
+// is wired into scripts/ci.sh between vet and the tests.
+//
+// Usage:
+//
+//	repllint [flags] [./...]
+//
+// The package pattern is accepted for familiarity but the tool always
+// analyzes the whole module containing the working directory: the
+// determinism rules are module-wide invariants, and partial runs would
+// only hide findings.
+//
+// Flags:
+//
+//	-rules a,b,c   run only the named rules (default: all)
+//	-list          print the rules and exit
+//
+// Findings print as "file:line: rule: message" with paths relative to the
+// working directory. Suppress an individual finding with a trailing
+// "//repllint:allow <rule> — justification" comment (same line or the line
+// above), or a whole file by placing the directive before the package
+// clause.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repllint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	list := fs.Bool("list", false, "list the available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *rules != "" {
+		names = strings.Split(*rules, ",")
+	}
+	analyzers, err := lint.ByName(names)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "repllint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "repllint:", err)
+		return 2
+	}
+
+	findings, err := lint.RunModule(root, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "repllint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", name, f.Pos.Line, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "repllint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

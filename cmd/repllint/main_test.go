@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListRules(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, errOut.String())
+	}
+	for _, rule := range []string{
+		"determinism", "rng-stream", "sorted-iteration",
+		"float-compare", "telemetry-naming", "error-discipline",
+	} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing rule %q:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-rules", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown rule exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown rule") {
+		t.Errorf("stderr missing diagnosis: %s", errOut.String())
+	}
+}
+
+// TestModuleIsClean is the driver-level acceptance check: repllint over the
+// real module (the test binary runs inside it) reports nothing and exits 0.
+func TestModuleIsClean(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("repllint exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}

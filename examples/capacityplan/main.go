@@ -57,7 +57,7 @@ func main() {
 		rt, bytes := simulate(frac)
 		rel := (rt/base - 1) * 100
 		marker := ""
-		if rel <= slaPct && chosen == 1.0 && frac < 1.0 {
+		if rel <= slaPct && chosen == 1.0 && frac < 1.0 { //repllint:allow float-compare — 1.0 is the exact "no fraction chosen yet" sentinel
 			chosen = frac
 			marker = "  <- smallest meeting SLA"
 		}

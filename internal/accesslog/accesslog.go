@@ -82,7 +82,7 @@ func markHot(w *workload.Workload, i workload.SiteID) {
 	pages := append([]workload.PageID(nil), w.Sites[i].Pages...)
 	sort.Slice(pages, func(a, b int) bool {
 		fa, fb := w.Pages[pages[a]].Freq, w.Pages[pages[b]].Freq
-		if fa != fb {
+		if fa != fb { //repllint:allow float-compare — exact-bits tie-break keeps the comparator a strict weak order
 			return fa > fb
 		}
 		return pages[a] < pages[b]

@@ -216,8 +216,8 @@ func (s *Supervisor) probeSite(i int) bool {
 		s.cProbeFails.Inc()
 		return false
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		s.cProbeFails.Inc()
 		return false

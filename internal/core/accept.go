@@ -205,13 +205,13 @@ func (pl *Planner) acceptBySwapping(i workload.SiteID, soft, hard float64, res *
 		ins = append(ins, entry{k, rate, pl.env.W.ObjectSize(k)})
 	}
 	sort.Slice(outs, func(a, b int) bool {
-		if outs[a].rate != outs[b].rate {
+		if outs[a].rate != outs[b].rate { //repllint:allow float-compare — exact-bits tie-break keeps the comparator a strict weak order
 			return outs[a].rate < outs[b].rate
 		}
 		return outs[a].k < outs[b].k
 	})
 	sort.Slice(ins, func(a, b int) bool {
-		if ins[a].rate != ins[b].rate {
+		if ins[a].rate != ins[b].rate { //repllint:allow float-compare — exact-bits tie-break keeps the comparator a strict weak order
 			return ins[a].rate > ins[b].rate
 		}
 		return ins[a].k < ins[b].k

@@ -168,7 +168,7 @@ func (pl *Planner) PartitionParallel(workers int, sp *telemetry.Span) {
 	if workers <= 1 {
 		var t time.Time
 		if sp != nil {
-			t = time.Now()
+			t = time.Now() //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 		}
 		var buf []int
 		partitionRange(0, numPages, &buf)
@@ -176,7 +176,7 @@ func (pl *Planner) PartitionParallel(workers int, sp *telemetry.Span) {
 			pl.reducePartitionSite(workload.SiteID(i), deltas)
 		}
 		if sp != nil {
-			sp.AddBusy(time.Since(t))
+			sp.AddBusy(time.Since(t)) //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 		}
 		return
 	}
@@ -194,7 +194,7 @@ func (pl *Planner) PartitionParallel(workers int, sp *telemetry.Span) {
 			defer wg.Done()
 			var t time.Time
 			if sp != nil {
-				t = time.Now()
+				t = time.Now() //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 			}
 			var buf []int // per-worker scratch, reused across pages
 			for {
@@ -210,7 +210,7 @@ func (pl *Planner) PartitionParallel(workers int, sp *telemetry.Span) {
 				partitionRange(lo, hi, &buf)
 			}
 			if sp != nil {
-				sp.AddBusy(time.Since(t))
+				sp.AddBusy(time.Since(t)) //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 			}
 		}()
 	}
@@ -230,7 +230,7 @@ func (pl *Planner) PartitionParallel(workers int, sp *telemetry.Span) {
 			defer wg.Done()
 			var t time.Time
 			if sp != nil {
-				t = time.Now()
+				t = time.Now() //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 			}
 			for {
 				i := int(nextSite.Add(1) - 1)
@@ -240,7 +240,7 @@ func (pl *Planner) PartitionParallel(workers int, sp *telemetry.Span) {
 				pl.reducePartitionSite(workload.SiteID(i), deltas)
 			}
 			if sp != nil {
-				sp.AddBusy(time.Since(t))
+				sp.AddBusy(time.Since(t)) //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 			}
 		}()
 	}
@@ -327,14 +327,14 @@ func (pl *Planner) OffloadParallel(log io.Writer, workers int, sp *telemetry.Spa
 				defer func() { <-sem }()
 				var t time.Time
 				if sp != nil {
-					t = time.Now()
+					t = time.Now() //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 				}
 				site := sites[s]
 				sc := pl.scratchFor(site)
 				out[s] = sc.AcceptWorkload(site, reqs[site])
 				scratches[s] = sc
 				if sp != nil {
-					sp.AddBusy(time.Since(t))
+					sp.AddBusy(time.Since(t)) //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 				}
 			}(s)
 		}

@@ -52,7 +52,7 @@ func lap(sp *telemetry.Span, from time.Time) time.Time {
 	if sp == nil {
 		return from
 	}
-	now := time.Now()
+	now := time.Now() //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 	sp.AddBusy(now.Sub(from))
 	return now
 }
@@ -127,7 +127,7 @@ func Plan(env *model.Env, opts Options) (*model.Placement, *Result, error) {
 	restoreSite := func(i workload.SiteID) {
 		var t time.Time
 		if trace != nil {
-			t = time.Now()
+			t = time.Now() //repllint:allow determinism — span busy-time telemetry; never feeds planner state
 		}
 		d := pl.RestoreStorageSite(i)
 		t = lap(spStore, t)

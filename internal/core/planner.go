@@ -405,7 +405,7 @@ func (pl *Planner) VerifyConsistency() error {
 		if rt := model.PageRemoteTime(pl.env, pl.p, id); !approxEqual(float64(rt), float64(pl.remoteTime(id)), eps) {
 			return fmt.Errorf("core: page %d cached remote time %v != %v", j, pl.remoteTime(id), rt)
 		}
-		if pt := pl.computePageTime(id); pl.pageT[j] != pt {
+		if pt := pl.computePageTime(id); pl.pageT[j] != pt { //repllint:allow float-compare — cache-coherence check demands bit-exact equality
 			return fmt.Errorf("core: page %d cached page time %v != recomputed %v", j, pl.pageT[j], pt)
 		}
 	}

@@ -26,7 +26,7 @@ func Table1(opts Options) (*workload.Summary, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	wSeed := rng.New(opts.Seed).Split(runWorkloadStream, 0).Seed()
+	wSeed := rng.New(opts.Seed).Split(runWorkloadStream, table1Run).Seed()
 	w, err := workload.Generate(opts.Workload, wSeed)
 	if err != nil {
 		return nil, err
@@ -112,7 +112,7 @@ func (r *EquivalenceResult) Write(w io.Writer) error {
 	}
 	for _, frac := range StorageGrid {
 		marker := ""
-		if frac == r.Fraction {
+		if frac == r.Fraction { //repllint:allow float-compare — StorageGrid values are copied verbatim; exact match intended
 			marker = "  <-- matches LRU@100%"
 		}
 		if _, err := fmt.Fprintf(w, "proposed @ %3.0f%% storage: %+.1f%%%s\n", frac*100, r.ProposedAt[frac], marker); err != nil {

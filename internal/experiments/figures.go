@@ -112,7 +112,7 @@ func Figure1(opts Options) (*stats.Figure, error) {
 		}
 
 		for _, frac := range StorageGrid {
-			pointStart := time.Now()
+			pointStart := time.Now() //repllint:allow determinism — wall-clock progress narration; never feeds results
 			b := unconstrainedBudgets(env.w).Scale(env.w, frac, 1)
 			// Scale keeps capacities; re-relax them explicitly.
 			for i := range b.SiteCapacity {
@@ -141,7 +141,7 @@ func Figure1(opts Options) (*stats.Figure, error) {
 			opts.progressf("fig1 run %d: storage %3.0f%% — plan D=%.1f feasible=%v, proposed %+.1f%%, lru %+.1f%% (%.2fs)",
 				r, frac*100, pr.D, pr.Feasible,
 				stats.RelativeIncrease(oursRT, env.baseRT), stats.RelativeIncrease(lruRT, env.baseRT),
-				time.Since(pointStart).Seconds())
+				time.Since(pointStart).Seconds()) //repllint:allow determinism — wall-clock progress narration; never feeds results
 		}
 		return nil
 	})
@@ -159,7 +159,7 @@ func Figure2(opts Options) (*stats.Figure, error) {
 	col := newCollector()
 	err := forEachRun(&opts, func(r int, env *runEnv) error {
 		for _, frac := range CapacityGrid {
-			pointStart := time.Now()
+			pointStart := time.Now() //repllint:allow determinism — wall-clock progress narration; never feeds results
 			b := model.FullBudgets(env.w).Scale(env.w, 1, frac)
 			b.RepoCapacity = model.Infinite()
 			oursRT, pr, err := env.simulatePlanned(b, false)
@@ -169,7 +169,7 @@ func Figure2(opts Options) (*stats.Figure, error) {
 			col.add("Proposed", frac*100, stats.RelativeIncrease(oursRT, env.baseRT))
 			opts.progressf("fig2 run %d: capacity %3.0f%% — plan D=%.1f flips=%d, proposed %+.1f%% (%.2fs)",
 				r, frac*100, pr.D, totalFlips(pr),
-				stats.RelativeIncrease(oursRT, env.baseRT), time.Since(pointStart).Seconds())
+				stats.RelativeIncrease(oursRT, env.baseRT), time.Since(pointStart).Seconds()) //repllint:allow determinism — wall-clock progress narration; never feeds results
 		}
 		// The 0 % anchor: everything is forced remote.
 		b := model.FullBudgets(env.w).Scale(env.w, 1, 0)
@@ -211,7 +211,7 @@ func Figure3(opts Options) (*stats.Figure, error) {
 			preLoad := model.RepoLoad(probeEnv, pp)
 
 			for _, centralFrac := range CentralGrid {
-				pointStart := time.Now()
+				pointStart := time.Now() //repllint:allow determinism — wall-clock progress narration; never feeds results
 				b := model.FullBudgets(env.w).Scale(env.w, 1, localFrac)
 				b.RepoCapacity = units.ReqPerSec(float64(preLoad) * centralFrac)
 				rt, pr, err := env.simulatePlanned(b, false)
@@ -221,7 +221,7 @@ func Figure3(opts Options) (*stats.Figure, error) {
 				col.add(seriesName(centralFrac), localFrac*100, stats.RelativeIncrease(rt, env.baseRT))
 				opts.progressf("fig3 run %d: local %3.0f%% central %2.0f%% — offload rounds=%d msgs=%d restored=%v, %+.1f%% (%.2fs)",
 					r, localFrac*100, centralFrac*100, pr.Offload.Rounds, pr.Offload.Messages,
-					pr.Offload.Restored, stats.RelativeIncrease(rt, env.baseRT), time.Since(pointStart).Seconds())
+					pr.Offload.Restored, stats.RelativeIncrease(rt, env.baseRT), time.Since(pointStart).Seconds()) //repllint:allow determinism — wall-clock progress narration; never feeds results
 			}
 		}
 		return nil

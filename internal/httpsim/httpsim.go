@@ -289,16 +289,29 @@ func runSite(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg Confi
 	return partial, nil
 }
 
+// Stream labels for the per-site request simulation. Record (trace.go)
+// derives its page/perturb/opt streams with the same labels so a recorded
+// trace pins exactly the sequences the live simulator would draw. The
+// values are load-bearing: Split folds them into the seed derivation, so
+// renumbering silently changes every golden result.
+const (
+	simPageStream uint64 = iota + 1
+	simPerturbStream
+	simOptStream
+	simArrivalStream
+	simOutageStream
+)
+
 // simulatePass runs RequestsPerSite page views; when out is nil the pass is
 // a warmup (state advances, nothing recorded).
 func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg Config, stream *rng.Stream, i workload.SiteID, picker *pagePicker, out *Result) error {
-	pageStream := stream.Split(1)
-	perturbStream := stream.Split(2)
-	optStream := stream.Split(3)
-	arrivalStream := stream.Split(4)
+	pageStream := stream.Split(simPageStream)
+	perturbStream := stream.Split(simPerturbStream)
+	optStream := stream.Split(simOptStream)
+	arrivalStream := stream.Split(simArrivalStream)
 	// Outage draws come from their own stream so enabling degraded mode
 	// cannot shift the page/perturbation/optional sequences.
-	outageStream := stream.Split(5)
+	outageStream := stream.Split(simOutageStream)
 
 	perturber, err := netsim.NewPerturber(cfg.Perturb, est.Site(int(i)), perturbStream)
 	if err != nil {

@@ -63,9 +63,9 @@ func Record(w *workload.Workload, est *netsim.Estimates, cfg Config, stream *rng
 	for i := 0; i < w.NumSites(); i++ {
 		site := workload.SiteID(i)
 		siteStream := stream.Split(uint64(i))
-		pageStream := siteStream.Split(1)
-		perturbStream := siteStream.Split(2)
-		optStream := siteStream.Split(3)
+		pageStream := siteStream.Split(simPageStream)
+		perturbStream := siteStream.Split(simPerturbStream)
+		optStream := siteStream.Split(simOptStream)
 
 		picker, err := newPagePicker(w, site)
 		if err != nil {
@@ -228,11 +228,11 @@ func (tr *Trace) SaveFile(path string) error {
 	}
 	bw := bufio.NewWriter(f)
 	if err := tr.Encode(bw); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("httpsim: %w", err)
 	}
 	return f.Close()

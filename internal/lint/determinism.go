@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer forbids ambient-state entry points — wall clock,
+// global math/rand, environment — inside the deterministic packages. Every
+// reproducibility property test in this repo (byte-identical plans at any
+// worker count, bit-identical experiment output per seed) assumes those
+// packages compute pure functions of their inputs and seeds; one stray
+// time.Now() silently voids them.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock, global math/rand, and environment access in the " +
+		"deterministic packages (core, repair, faults, httpsim, netsim, workload, policies, experiments)",
+	Run: runDeterminism,
+}
+
+// forbiddenFuncs maps "pkgpath.Func" to a short reason. math/rand
+// constructors (New, NewSource, NewZipf) stay legal: they take explicit
+// seeds and are what internal/rng itself is built from. Everything touching
+// the process-global generator or the wall clock is out.
+var forbiddenFuncs = map[string]string{
+	"time.Now":       "wall clock",
+	"time.Since":     "wall clock",
+	"time.Until":     "wall clock",
+	"time.Sleep":     "wall clock",
+	"time.After":     "wall clock",
+	"time.AfterFunc": "wall clock",
+	"time.Tick":      "wall clock",
+	"time.NewTicker": "wall clock",
+	"time.NewTimer":  "wall clock",
+
+	"os.Getenv":    "ambient environment",
+	"os.LookupEnv": "ambient environment",
+	"os.Environ":   "ambient environment",
+}
+
+// globalRandExempt lists the math/rand package-level functions that do NOT
+// touch the shared global generator.
+var globalRandExempt = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(p *Pass) {
+	if !DeterministicPackages[p.Pkg.Name] {
+		return
+	}
+	p.eachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			key := path + "." + name
+			if reason, bad := forbiddenFuncs[key]; bad {
+				p.Reportf(sel.Pos(), "%s (%s) is forbidden in deterministic package %q; thread a seed/clock in, or annotate with %s", key, reason, p.Pkg.Name, allowPrefix)
+				return true
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && fn.Type().(*types.Signature).Recv() == nil && !globalRandExempt[name] {
+				p.Reportf(sel.Pos(), "global %s.%s is forbidden in deterministic package %q; use a labeled rng.Stream instead", path, name, p.Pkg.Name)
+			}
+			return true
+		})
+	})
+}

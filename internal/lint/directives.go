@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives holds the parsed //repllint:allow suppressions for one
+// package. Two scopes exist:
+//
+//   - file scope: the directive appears in the file header (before the
+//     package clause) and exempts the whole file from the named rules;
+//   - line scope: the directive sits on the same line as the finding, or on
+//     the line immediately above it.
+//
+// The directive text is "//repllint:allow rule[,rule] [justification]".
+type Directives struct {
+	// fileAllow maps filename -> rules exempted for the whole file.
+	fileAllow map[string]map[string]bool
+	// lineAllow maps filename -> line -> rules exempted on that line.
+	lineAllow map[string]map[int]map[string]bool
+}
+
+const allowPrefix = "//repllint:allow"
+
+// ParseDirectives scans every comment of the files for allow directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		fileAllow: make(map[string]map[string]bool),
+		lineAllow: make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range files {
+		pkgLine := fset.Position(f.Package).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if pos.Line < pkgLine {
+					set := d.fileAllow[pos.Filename]
+					if set == nil {
+						set = make(map[string]bool)
+						d.fileAllow[pos.Filename] = set
+					}
+					for _, r := range rules {
+						set[r] = true
+					}
+					continue
+				}
+				lines := d.lineAllow[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					d.lineAllow[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, r := range rules {
+					set[r] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseAllow extracts the rule names from one comment, or ok=false when the
+// comment is not an allow directive. Rules are the first whitespace-free
+// token after the prefix, comma-separated; everything after is the
+// free-form justification.
+func parseAllow(text string) (rules []string, ok bool) {
+	rest, found := strings.CutPrefix(text, allowPrefix)
+	if !found {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	return rules, len(rules) > 0
+}
+
+// Allows reports whether a finding of the given rule at pos is suppressed.
+func (d *Directives) Allows(rule string, pos token.Position) bool {
+	if d == nil {
+		return false
+	}
+	if d.fileAllow[pos.Filename][rule] {
+		return true
+	}
+	lines := d.lineAllow[pos.Filename]
+	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrorDisciplineAnalyzer enforces two error-handling rules outside tests:
+//
+//  1. an expression statement that discards an error result is flagged
+//     (write `_ = f()` to drop one deliberately — that survives review;
+//     a bare call does not);
+//  2. fmt.Errorf with an error-typed argument must wrap it with %w, so
+//     errors.Is/As keep working across package boundaries.
+//
+// Print-family functions whose error nobody checks in practice (fmt.Print*
+// and friends, strings.Builder / bytes.Buffer writes, which are documented
+// to never fail) are excluded from rule 1.
+var ErrorDisciplineAnalyzer = &Analyzer{
+	Name: "error-discipline",
+	Doc:  "flag dropped error returns and fmt.Errorf that formats an error without %w",
+	Run:  runErrorDiscipline,
+}
+
+// droppedErrorExempt lists callees whose returned error is conventionally
+// ignored. Keys are "pkgpath.Func" for functions and "Type.Method" for
+// methods on the named receiver type.
+var droppedErrorExempt = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+
+	// Documented to never return a non-nil error.
+	"Builder.Write":       true,
+	"Builder.WriteString": true,
+	"Builder.WriteByte":   true,
+	"Builder.WriteRune":   true,
+	"Buffer.Write":        true,
+	"Buffer.WriteString":  true,
+	"Buffer.WriteByte":    true,
+	"Buffer.WriteRune":    true,
+}
+
+func runErrorDiscipline(p *Pass) {
+	p.eachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkDroppedError(p, call)
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(p, st)
+			}
+			return true
+		})
+	})
+}
+
+// checkDroppedError flags a statement-position call whose results include
+// an error.
+func checkDroppedError(p *Pass, call *ast.CallExpr) {
+	tv, ok := p.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !resultsIncludeError(tv.Type) {
+		return
+	}
+	if name := calleeKey(p, call); name != "" && droppedErrorExempt[name] {
+		return
+	}
+	p.Reportf(call.Pos(), "error result dropped; handle it or assign to _ explicitly")
+}
+
+func resultsIncludeError(t types.Type) bool {
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isErrorType(rt)
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// calleeKey renders the called function as "pkgpath.Func" or
+// "RecvType.Method" for the exemption table, or "" when unresolvable.
+func calleeKey(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg() == nil {
+			return fn.Name()
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name() + "." + fn.Name()
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error argument but
+// whose format literal never uses %w.
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := p.Pkg.Info.Types[arg]
+		if ok && tv.Type != nil && isErrorType(tv.Type) {
+			p.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; wrap it so errors.Is/As see the cause")
+			return
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompareAnalyzer flags == and != between floating-point operands.
+// The planner scores flips with accumulated float arithmetic (Eq. 5–10 cost
+// deltas); exact equality on such values is either accidentally true on one
+// architecture and false on another, or a tie-break that silently depends
+// on rounding. Compare against an epsilon, or restructure so the tie-break
+// is integral.
+//
+// One carve-out: comparison against constant zero stays legal. Zero is
+// exactly representable, `x == 0` is the universal "unset / empty" sentinel
+// (weight sums, α-denominators, rate specs), and flagging it would bury
+// the real findings under allow directives. Test files are out of scope
+// (the loader skips them), and deliberate non-zero sentinel checks can
+// carry an allow directive.
+var FloatCompareAnalyzer = &Analyzer{
+	Name: "float-compare",
+	Doc:  "forbid ==/!= between floating-point operands outside tests (comparison against constant 0 is exempt)",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(p *Pass) {
+	p.eachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, bin.X) && !isFloat(p, bin.Y) {
+				return true
+			}
+			if isConstZero(p, bin.X) || isConstZero(p, bin.Y) {
+				return true
+			}
+			p.Reportf(bin.OpPos, "%s between floating-point operands; compare with an epsilon or restructure the tie-break", bin.Op)
+			return true
+		})
+	})
+}
+
+// isConstZero reports whether e is a compile-time constant equal to zero.
+func isConstZero(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func isFloat(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,158 @@
+// Package lint is a repo-specific static-analysis suite. It mechanically
+// enforces the conventions every reproducibility claim in this repository
+// rests on: no wall-clock or ambient randomness inside the deterministic
+// packages, named-constant discipline for rng stream labels, sorted
+// iteration before anything that feeds output, no float equality, telemetry
+// metric-name hygiene, and error-handling discipline.
+//
+// The suite is built only on the standard library (go/parser, go/ast,
+// go/types, go/importer) — no golang.org/x/tools — honoring the repo's
+// stdlib-only rule. The cmd/repllint driver loads every package in the
+// module, type-checks it, runs every analyzer, and exits nonzero on any
+// finding.
+//
+// # Suppression
+//
+// A finding can be suppressed with a directive comment:
+//
+//	//repllint:allow <rule> — <one-line justification>
+//
+// placed either on the same line as (or the line immediately above) the
+// offending expression, or in the file header before the package clause to
+// exempt the whole file. The justification text is free-form but required by
+// convention; reviews treat a bare allow as a smell.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Finding is one analyzer hit, formatted as "file:line: rule: message".
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the canonical file:line: rule: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one named rule. Run inspects a single type-checked package and
+// reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:  p.Pkg.Fset.Position(pos),
+		Rule: p.Analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DeterministicPackages names the packages whose outputs must be a pure
+// function of (inputs, seed). The determinism and sorted-iteration rules key
+// on the package name: every one of these lives at repro/internal/<name>.
+var DeterministicPackages = map[string]bool{
+	"core":        true,
+	"repair":      true,
+	"faults":      true,
+	"httpsim":     true,
+	"netsim":      true,
+	"workload":    true,
+	"policies":    true,
+	"experiments": true,
+}
+
+// Analyzers is the full suite in reporting order.
+var Analyzers = []*Analyzer{
+	DeterminismAnalyzer,
+	RNGStreamAnalyzer,
+	SortedIterAnalyzer,
+	FloatCompareAnalyzer,
+	TelemetryNameAnalyzer,
+	ErrorDisciplineAnalyzer,
+}
+
+// ByName returns the analyzers with the given names, or all of them when
+// names is empty. Unknown names are an error.
+func ByName(names []string) ([]*Analyzer, error) {
+	if len(names) == 0 {
+		return Analyzers, nil
+	}
+	byName := make(map[string]*Analyzer, len(Analyzers))
+	for _, a := range Analyzers {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunPackages runs the analyzers over already-loaded packages and returns
+// the surviving (non-suppressed) findings sorted by position.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, az := range analyzers {
+			pass := &Pass{Analyzer: az, Pkg: pkg}
+			az.Run(pass)
+			for _, f := range pass.findings {
+				if !pkg.Directives.Allows(f.Rule, f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// RunModule loads every package under the module rooted at dir, type-checks
+// it, and runs the analyzers.
+func RunModule(dir string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers), nil
+}
+
+// eachFile applies fn to every file of the pass's package.
+func (p *Pass) eachFile(fn func(*ast.File)) {
+	for _, f := range p.Pkg.Files {
+		fn(f)
+	}
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader is shared across fixture cases so the stdlib source
+// importer's work is paid once.
+var fixtureLoader *Loader
+
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	if fixtureLoader == nil {
+		l, err := NewLoader("testdata/src", "")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		fixtureLoader = l
+	}
+	pkg, err := fixtureLoader.Load(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+var wantArgRE = regexp.MustCompile(`"([^"]*)"`)
+
+// collectWants extracts the `// want "regex"` expectations from a fixture
+// package, keyed by filename and line.
+func collectWants(t *testing.T, pkg *Package) map[string]map[int][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string]map[int][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantArgRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					byLine := wants[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]*regexp.Regexp)
+						wants[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the named rules over one fixture package and verifies
+// the findings against the fixture's want comments, both directions.
+func checkFixture(t *testing.T, dir string, rules ...string) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	azs, err := ByName(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackages([]*Package{pkg}, azs)
+	wants := collectWants(t, pkg)
+
+	for _, f := range findings {
+		text := fmt.Sprintf("%s: %s", f.Rule, f.Msg)
+		matched := false
+		res := wants[f.Pos.Filename][f.Pos.Line]
+		for i, re := range res {
+			if re.MatchString(text) {
+				wants[f.Pos.Filename][f.Pos.Line] = append(res[:i], res[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", f.Pos.Filename, f.Pos.Line, text)
+		}
+	}
+	for file, byLine := range wants {
+		for line, res := range byLine {
+			for _, re := range res {
+				t.Errorf("%s:%d: expected finding matching %q, got none", file, line, re)
+			}
+		}
+	}
+}
+
+// TestFixtures proves every rule both fires on violations and stays quiet
+// on compliant code, per the golden // want comments in testdata/src.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		dir   string
+		rules []string
+	}{
+		{"det_core", []string{"determinism"}},
+		{"det_allow", []string{"determinism"}},
+		{"det_other", []string{"determinism"}},
+		{"rngsplit", []string{"rng-stream"}},
+		{"sortiter", []string{"sorted-iteration"}},
+		{"floatcmp", []string{"float-compare"}},
+		{"telemetryname", []string{"telemetry-naming"}},
+		{"errcheck", []string{"error-discipline"}},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) { checkFixture(t, c.dir, c.rules...) })
+	}
+}
+
+// TestModuleClean runs the full suite over the real module: the tree must
+// stay finding-free, so CI can gate on `repllint`.
+func TestModuleClean(t *testing.T) {
+	findings, err := RunModule("../..", Analyzers)
+	if err != nil {
+		t.Fatalf("RunModule: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName(nil)
+	if err != nil || len(all) != len(Analyzers) {
+		t.Fatalf("ByName(nil) = %d analyzers, err %v; want %d, nil", len(all), err, len(Analyzers))
+	}
+	got, err := ByName([]string{"determinism", "rng-stream"})
+	if err != nil || len(got) != 2 || got[0].Name != "determinism" || got[1].Name != "rng-stream" {
+		t.Fatalf("ByName(determinism, rng-stream) = %v, %v", got, err)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+		ok   bool
+	}{
+		{"//repllint:allow determinism — spans only", []string{"determinism"}, true},
+		{"//repllint:allow determinism,float-compare justification", []string{"determinism", "float-compare"}, true},
+		{"// repllint:allow determinism", nil, false}, // space breaks the directive on purpose
+		{"//repllint:allow", nil, false},
+		{"// plain comment", nil, false},
+	}
+	for _, c := range cases {
+		rules, ok := parseAllow(c.text)
+		if ok != c.ok || strings.Join(rules, "|") != strings.Join(c.want, "|") {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v, %v", c.text, rules, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(root, "repo") && !strings.Contains(root, "/") {
+		t.Fatalf("unexpected module root %q", root)
+	}
+	if _, err := FindModuleRoot("/"); err == nil {
+		t.Fatal("FindModuleRoot(/) should fail")
+	}
+}

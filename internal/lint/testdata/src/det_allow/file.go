@@ -1,0 +1,10 @@
+//repllint:allow determinism — whole-file exemption: this file is the documented wall-clock boundary
+
+// Determinism suppression fixture, file scope: the directive above sits
+// before the package clause, so nothing in this file fires.
+package faults
+
+import "time"
+
+// WallClock is exempt via the file-header directive.
+func WallClock() time.Time { return time.Now() }

@@ -1,0 +1,14 @@
+// Determinism suppression fixture, line scope: a directive on the same
+// line or the line immediately above silences exactly one finding.
+package faults
+
+import "time"
+
+// Spans measures wall time with sanctioned annotations and one violation.
+func Spans() time.Duration {
+	start := time.Now() //repllint:allow determinism — span telemetry only; never feeds plan state
+	//repllint:allow determinism — line-above form
+	mid := time.Now()
+	_ = mid
+	return time.Since(start) // want "determinism: time.Since \(wall clock\)"
+}

@@ -1,0 +1,8 @@
+// Negative determinism fixture: "other" is not one of the deterministic
+// packages, so wall-clock use here is silent.
+package other
+
+import "time"
+
+// Stamp may read the wall clock freely.
+func Stamp() time.Time { return time.Now() }

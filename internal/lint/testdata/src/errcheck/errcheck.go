@@ -1,0 +1,45 @@
+// error-discipline fixture: silently dropped errors and unwrapped
+// fmt.Errorf causes fire; explicit drops and the print-family exemptions
+// stay silent.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func work() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Drop exercises statement-position error discards.
+func Drop() {
+	work()     // want "error-discipline: error result dropped"
+	pair()     // want "error-discipline: error result dropped"
+	_ = work() // explicit drop: silent
+	n, _ := pair()
+	_ = n
+	fmt.Println("hello") // print family: exempt
+	var sb strings.Builder
+	sb.WriteString("x") // documented to never fail: exempt
+	_ = sb.String()
+}
+
+// Wrap formats an error without wrapping it.
+func Wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("context: %v", err) // want "error-discipline: fmt.Errorf formats an error without %w"
+}
+
+// Wrapped uses %w: silent.
+func Wrapped(err error) error {
+	return fmt.Errorf("context: %w", err)
+}
+
+// Rewrapped mixes %w with %v for a secondary cause: silent.
+func Rewrapped(err error) error {
+	return fmt.Errorf("op %s failed: %w (also %v)", "x", err, errors.New("aux"))
+}

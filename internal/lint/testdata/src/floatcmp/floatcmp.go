@@ -1,0 +1,37 @@
+// float-compare fixture: equality between float operands fires; constant
+// zero sentinels, ordered comparisons, and integers stay silent.
+package floatcmp
+
+// Cmp exercises the flagged and exempt comparison shapes.
+func Cmp(a, b float64, i, j int) bool {
+	if a == b { // want "float-compare: == between floating-point operands"
+		return true
+	}
+	if a != b { // want "float-compare: != between floating-point operands"
+		return false
+	}
+	if a == 0 { // constant-zero sentinel: exempt
+		return false
+	}
+	if 0.0 != b { // constant zero on either side: exempt
+		return false
+	}
+	if i == j { // integers: out of scope
+		return true
+	}
+	return a < b
+}
+
+const half = 0.5
+
+// Sentinel shows a non-zero constant compare (fires) and a deliberate
+// sentinel suppressed with an allow directive.
+func Sentinel(x float64) bool {
+	if x == half { // want "float-compare: == between floating-point operands"
+		return true
+	}
+	if x == 1.0 { //repllint:allow float-compare — deliberate exact sentinel
+		return true
+	}
+	return false
+}

@@ -114,11 +114,11 @@ func (p *Placement) SaveFile(path string) error {
 	}
 	bw := bufio.NewWriter(f)
 	if err := p.Encode(bw); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("model: %w", err)
 	}
 	return f.Close()

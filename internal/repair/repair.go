@@ -429,7 +429,7 @@ func assignHomes(env *model.Env, down map[workload.SiteID]bool) map[workload.Pag
 				est := env.Est.Sites[id]
 				t := float64(est.RepoOvhd + est.RepoRate.TransferTime(bytes))
 				s := share(id, float64(pg.Freq))
-				if t < bestT || (t == bestT && s < bestShare) {
+				if t < bestT || (t == bestT && s < bestShare) { //repllint:allow float-compare — exact-bits tie-break; an epsilon would make the argmin order-dependent
 					best, bestT, bestShare = id, t, s
 				}
 			}

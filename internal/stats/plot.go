@@ -40,10 +40,10 @@ func (f *Figure) WritePlot(w io.Writer, width, height int) error {
 		_, err := fmt.Fprintln(w, "(no data)")
 		return err
 	}
-	if maxX == minX {
+	if maxX == minX { //repllint:allow float-compare — degenerate-range guard; exact equality is the condition
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY == minY { //repllint:allow float-compare — degenerate-range guard; exact equality is the condition
 		maxY = minY + 1
 	}
 

@@ -57,7 +57,7 @@ func (f *Figure) xs() []float64 {
 // lookup returns the y (and error) of series s at x.
 func lookup(s *Series, x float64) (y, e float64, ok bool) {
 	for i, xv := range s.X {
-		if xv == x {
+		if xv == x { //repllint:allow float-compare — series x-values are copied verbatim from the grid; exact match intended
 			e := 0.0
 			if i < len(s.Err) {
 				e = s.Err[i]

@@ -233,7 +233,7 @@ func (c *Client) get(url string) ([]byte, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		// Drain so the persistent connection is reusable.
-		io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, resp.Body)
 		return nil, &statusError{url: url, code: resp.StatusCode, status: resp.Status}
 	}
 	return io.ReadAll(resp.Body)
@@ -431,7 +431,7 @@ func (c *Client) fetchMO(url string, k workload.ObjectID) (data []byte, retries 
 	retries += r2
 	if err2 != nil {
 		// Report the original failure; the fallback error wraps context.
-		return nil, retries, true, fmt.Errorf("%v (repository fallback also failed: %v)", err, err2)
+		return nil, retries, true, fmt.Errorf("%w (repository fallback also failed: %v)", err, err2)
 	}
 	return data, retries, true, nil
 }

@@ -16,5 +16,5 @@ func listenLoopback() (net.Listener, error) {
 	if err6 == nil {
 		return ln6, nil
 	}
-	return nil, fmt.Errorf("webserve: cannot listen on loopback: %v / %v", err, err6)
+	return nil, fmt.Errorf("webserve: cannot listen on loopback: %w / %v", err, err6)
 }

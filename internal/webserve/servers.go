@@ -321,14 +321,14 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 	for i := 0; i < w.NumSites(); i++ {
 		ls, err := NewLocalServer(w, workload.SiteID(i), p, repoBase)
 		if err != nil {
-			c.Close()
+			_ = c.Close()
 			return nil, err
 		}
 		ls.setTelemetry(c.Metrics)
 		h := c.buildHandler(ls, opts, opts.Faults.SiteInjector(i), fmt.Sprintf("faults.site.%d.", i), clock)
 		base, srv, err := serve(h)
 		if err != nil {
-			c.Close()
+			_ = c.Close()
 			return nil, err
 		}
 		ls.SetBase(base)
@@ -359,7 +359,7 @@ func withHealthz(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
 		if req.URL.Path == "/healthz" {
 			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			io.WriteString(rw, "ok\n")
+			_, _ = io.WriteString(rw, "ok\n")
 			return
 		}
 		h.ServeHTTP(rw, req)
@@ -468,7 +468,7 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 		go func(i int, srv *http.Server) {
 			defer wg.Done()
 			if err := srv.Shutdown(ctx); err != nil {
-				srv.Close() // deadline hit: cut what is left
+				_ = srv.Close() // deadline hit: cut what is left
 				errs[i] = err
 			}
 		}(i, srv)

@@ -40,11 +40,11 @@ func (w *Workload) SaveFile(path string) error {
 	}
 	bw := bufio.NewWriter(f)
 	if err := w.Encode(bw); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("workload: %w", err)
 	}
 	return f.Close()

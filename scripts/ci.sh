@@ -8,10 +8,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
+echo "== gofmt (simplify) =="
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "unformatted files:" >&2
+    echo "unformatted files (gofmt -s):" >&2
     echo "$unformatted" >&2
     exit 1
 fi
@@ -22,11 +22,20 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
+echo "== repllint (repo invariants) =="
+# The custom analyzer suite (internal/lint): determinism, rng-stream
+# labels, sorted iteration, float compares, telemetry naming, error
+# discipline. Any finding fails the build; see DESIGN.md §11 for the rules
+# and the //repllint:allow escape hatch.
+go run ./cmd/repllint ./...
+
 echo "== tests =="
 go test ./...
 
-echo "== race (concurrent packages) =="
-go test -race ./internal/core/ ./internal/httpsim/ ./internal/webserve/ ./internal/experiments/ ./internal/telemetry/ ./internal/accesslog/ ./internal/faults/ ./internal/repair/ ./internal/controller/
+echo "== race (all packages) =="
+# Module-wide, not a hand-picked list, so a new concurrent package can
+# never silently skip the race detector.
+go test -race ./...
 
 echo "== chaos / degraded-mode (race) =="
 # The robustness surface end to end under the race detector: fault-plan
