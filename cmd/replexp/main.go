@@ -8,7 +8,7 @@
 //
 //	replexp -exp table1|fig1|fig2|fig3|equiv|all
 //	        -exp ablation|drift|redirect|sensitivity|threshold
-//	        -exp queueing|period|weights|degraded|recovery
+//	        -exp queueing|period|weights|degraded|critpath|recovery
 //	        [-scale paper|quick] [-runs N] [-seed N] [-requests N] [-csv DIR]
 //	        [-progress=false]
 //
@@ -132,6 +132,17 @@ var experiments = []experimentSpec{
 	figureExperiment("weights", false, repro.WeightsStudy),
 	figureExperiment("degraded", false, repro.DegradedMode),
 	{
+		name: "critpath",
+		run: func(opts repro.ExperimentOptions, stdout io.Writer, _ string, _ bool) error {
+			res, err := repro.CriticalPathStudy(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "== Critical path: observed (traced sim) vs predicted D ==")
+			return res.Write(stdout)
+		},
+	},
+	{
 		name: "recovery",
 		run: func(opts repro.ExperimentOptions, stdout io.Writer, csvDir string, plot bool) error {
 			res, err := repro.Recovery(opts)
@@ -159,7 +170,7 @@ var experiments = []experimentSpec{
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights, degraded, recovery")
+	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights, degraded, critpath, recovery")
 	scale := fs.String("scale", "paper", "paper (Table-1 volume, 20 runs) or quick")
 	runs := fs.Int("runs", 0, "override the number of runs")
 	seed := fs.Uint64("seed", 0, "override the experiment seed")

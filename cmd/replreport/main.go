@@ -7,7 +7,13 @@
 // Usage:
 //
 //	replreport [-scale paper|quick] [-runs N] [-seed N] [-requests N]
-//	           [-extensions] [-o report.md]
+//	           [-extensions] [-trace FILE] [-journal FILE] [-o report.md]
+//
+// With -trace (a JSONL span forest from replsim -spans or replserve -trace)
+// the report appends an observability section: the Eq. 5 critical-path
+// split and the five slowest traced page views. With -journal (a JSONL
+// dump of /debug/journal) the section also tallies the control-plane
+// flight recorder's events.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/trace"
 )
 
 // section is one report entry.
@@ -104,6 +111,73 @@ var sections = []section{
 	figureSection("queueing", true, repro.QueueingStudy),
 	figureSection("period", true, repro.PeriodStudy),
 	figureSection("weights", true, repro.WeightsStudy),
+	{
+		name:      "critpath",
+		extension: true,
+		write: func(opts repro.ExperimentOptions, w io.Writer) error {
+			res, err := repro.CriticalPathStudy(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "### Critical path: observed (traced) vs predicted D\n\n```\n"); err != nil {
+				return err
+			}
+			if err := res.Write(w); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "```\n")
+			return err
+		},
+	},
+}
+
+// observabilitySection renders the recorded-trace and journal appendix.
+func observabilitySection(w io.Writer, tracePath, journalPath string) error {
+	if _, err := fmt.Fprintf(w, "### Observability: recorded traces\n\n"); err != nil {
+		return err
+	}
+	if tracePath != "" {
+		spans, err := repro.LoadSpans(tracePath)
+		if err != nil {
+			return err
+		}
+		a := repro.AnalyzeSpans(spans)
+		total := a.Transfer + a.Queue + a.Overhead + a.RetryBackoff
+		pct := func(v float64) float64 {
+			if total <= 0 {
+				return 0
+			}
+			return 100 * v / total
+		}
+		fmt.Fprintf(w, "Trace `%s`: %d spans, %d page views; local chain won %d, remote %d (%d degraded).\n",
+			tracePath, a.Spans, a.Traces, a.LocalWins, a.RemoteWins, a.DegradedViews)
+		fmt.Fprintf(w, "Time split: transfer %.1f%%, queue %.1f%%, overhead %.1f%%, retry/backoff %.1f%%.\n\n",
+			pct(a.Transfer), pct(a.Queue), pct(a.Overhead), pct(a.RetryBackoff))
+		fmt.Fprintf(w, "Slowest traced pages:\n\n")
+		fmt.Fprintf(w, "| trace | page | observed D (s) | critical path |\n|---|---|---|---|\n")
+		for _, v := range a.TopSlowest(5) {
+			fmt.Fprintf(w, "| `%016x` | %d | %.4f | %s |\n", uint64(v.Trace), v.Page, v.D, v.Winner)
+		}
+		fmt.Fprintln(w)
+	}
+	if journalPath != "" {
+		f, err := os.Open(journalPath)
+		if err != nil {
+			return err
+		}
+		events, err := trace.ReadEventsJSONL(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Control-plane journal `%s`: %d events.\n\n", journalPath, len(events))
+		fmt.Fprintf(w, "| event | count |\n|---|---|\n")
+		for _, tc := range repro.CountJournalEvents(events) {
+			fmt.Fprintf(w, "| %s | %d |\n", tc.Type, tc.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -113,6 +187,8 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 0, "override the experiment seed")
 	requests := fs.Int("requests", 0, "override page requests per site")
 	extensions := fs.Bool("extensions", false, "include the extension studies")
+	tracePath := fs.String("trace", "", "append an observability section analyzing this span forest (JSONL)")
+	journalPath := fs.String("journal", "", "include this control-plane journal dump (JSONL) in the observability section")
 	out := fs.String("o", "", "write the report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -165,6 +241,12 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("%s: %w", sec.name, err)
 		}
 		fmt.Fprintln(w)
+	}
+
+	if *tracePath != "" || *journalPath != "" {
+		if err := observabilitySection(w, *tracePath, *journalPath); err != nil {
+			return fmt.Errorf("observability: %w", err)
+		}
 	}
 
 	if file != nil {

@@ -20,8 +20,18 @@
 //
 // Usage:
 //
+// With -trace every fetch is traced end to end — the client's page root,
+// chains, retries, backoffs and fallbacks, plus the server-side serve spans
+// stitched in via the X-Repl-Trace header — and the forest is written as
+// JSONL for cmd/repltrace (-chrome additionally writes Perfetto-loadable
+// trace-event JSON). With -journal the control plane records its flight
+// recorder (probe transitions, repair plans, placement pushes, injected
+// faults), serves it at /debug/journal, and prints the event tally on exit.
+//
+// Usage:
+//
 //	replserve [-seed N] [-storage F] [-fetch N] [-adapt] [-metrics] [-serve]
-//	          [-chaos LEVEL] [-heal]
+//	          [-chaos LEVEL] [-heal] [-trace FILE] [-chrome FILE] [-journal]
 package main
 
 import (
@@ -52,8 +62,14 @@ func run(args []string, stdout io.Writer) error {
 	serve := fs.Bool("serve", false, "keep serving until interrupted instead of exiting")
 	chaos := fs.Float64("chaos", 0, "fault-injection level in [0,1]; 0 = healthy cluster")
 	heal := fs.Bool("heal", false, "run the self-healing supervisor: probe /healthz, repair around dead sites, recover when they return")
+	tracePath := fs.String("trace", "", "trace every fetch end to end and write the span forest to this JSONL file")
+	chromePath := fs.String("chrome", "", "with -trace, also write the forest as Chrome trace-event JSON to this file")
+	journalOn := fs.Bool("journal", false, "arm the control-plane flight recorder (served at /debug/journal, tallied on exit)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chromePath != "" && *tracePath == "" {
+		return fmt.Errorf("-chrome requires -trace")
 	}
 
 	// A small workload: this command demonstrates the mechanics, not the
@@ -89,15 +105,53 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "chaos: level %.2f fault plan armed (seed %d, repository clean)\n", *chaos, *seed)
 	}
 
+	var spanBuf *repro.SpanBuffer
+	if *tracePath != "" {
+		spanBuf = repro.NewSpanBuffer(0)
+	}
+	var journal *repro.EventJournal
+	if *journalOn {
+		journal = repro.NewEventJournal(0)
+	}
 	cluster, err := webserve.StartClusterOptions(w, placement, webserve.ClusterOptions{
-		Metrics: *metrics,
-		Pprof:   *metrics,
-		Faults:  plan,
+		Metrics:   *metrics,
+		Pprof:     *metrics,
+		Faults:    plan,
+		Trace:     spanBuf,
+		TraceSeed: *seed,
+		Journal:   journal,
 	})
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
+	if spanBuf != nil {
+		defer func() {
+			spans := spanBuf.Spans()
+			if err := repro.SaveSpans(*tracePath, spans); err != nil {
+				fmt.Fprintf(stdout, "trace: %v\n", err)
+				return
+			}
+			fmt.Fprintf(stdout, "trace: %d spans written to %s (repltrace -i %s -seed %d -storage %.2f)\n",
+				len(spans), *tracePath, *tracePath, *seed, *storage)
+			if *chromePath != "" {
+				if err := repro.SaveChromeTrace(*chromePath, spans); err != nil {
+					fmt.Fprintf(stdout, "trace: %v\n", err)
+					return
+				}
+				fmt.Fprintf(stdout, "trace: Chrome trace written to %s\n", *chromePath)
+			}
+		}()
+	}
+	if journal != nil {
+		fmt.Fprintf(stdout, "journal: flight recorder armed (GET %s/debug/journal)\n", cluster.RepoBase)
+		defer func() {
+			fmt.Fprintf(stdout, "journal: %d events recorded\n", len(journal.Events()))
+			for _, tc := range repro.CountJournalEvents(journal.Events()) {
+				fmt.Fprintf(stdout, "  %-18s %6d\n", tc.Type, tc.Count)
+			}
+		}()
+	}
 
 	fmt.Fprintf(stdout, "repository: %s\n", cluster.RepoBase)
 	for i, base := range cluster.SiteBases {
@@ -112,6 +166,7 @@ func run(args []string, stdout io.Writer) error {
 		sup := controller.New(env, placement, cluster, controller.Options{
 			Metrics: cluster.Metrics,
 			Log:     stdout,
+			Journal: journal,
 		})
 		sup.Start()
 		defer func() {

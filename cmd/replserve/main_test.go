@@ -1,8 +1,12 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
+	"repro/internal/trace"
 )
 
 func TestRunServeFetchAdapt(t *testing.T) {
@@ -60,6 +64,53 @@ func TestRunServeRejectsBadChaosLevel(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-chaos", "1.5"}, &sb); err == nil {
 		t.Error("chaos level 1.5 accepted")
+	}
+}
+
+func TestRunServeTraceJournal(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	chromePath := filepath.Join(dir, "trace.json")
+	var sb strings.Builder
+	if err := run([]string{"-fetch", "6", "-chaos", "0.4",
+		"-trace", tracePath, "-chrome", chromePath, "-journal"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"journal: flight recorder armed",
+		"spans written to",
+		"Chrome trace written to",
+		"journal:", "fault.injected",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The forest round-trips and contains both client and server spans —
+	// the X-Repl-Trace header really propagated across processes' handlers.
+	spans, err := repro.LoadSpans(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages, serves int
+	for i := range spans {
+		switch spans[i].Name {
+		case trace.SpanPage:
+			pages++
+		case trace.SpanServe:
+			serves++
+		}
+	}
+	if pages != 6 || serves == 0 {
+		t.Fatalf("trace file has %d page roots, %d serve spans", pages, serves)
+	}
+}
+
+func TestRunServeChromeRequiresTrace(t *testing.T) {
+	if err := run([]string{"-chrome", "x.json"}, &strings.Builder{}); err == nil {
+		t.Error("-chrome without -trace accepted")
 	}
 }
 

@@ -9,7 +9,11 @@
 //	replsim [-w workload.json] [-p placement.json] [-seed N]
 //	        [-scale paper|small] [-storage F] [-capacity F]
 //	        [-requests N] [-queueing] [-percentiles]
-//	        [-outage AVAIL] [-failover SECS]
+//	        [-outage AVAIL] [-failover SECS] [-spans FILE]
+//
+// With -spans the Proposed policy's run records its span forest — one trace
+// per page view, chains split by transfer/queue/overhead — and writes it as
+// JSONL for cmd/repltrace; the export is byte-deterministic for a seed.
 //
 // With -outage each page view finds its local site down with probability
 // 1-AVAIL and is served entirely by the repository (degraded mode), paying
@@ -41,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 	bySite := fs.Bool("by-site", false, "also break the proposed policy's page response times down per site")
 	outage := fs.Float64("outage", -1, "site availability in [0,1]; arms degraded mode (negative = off)")
 	failover := fs.Float64("failover", 0.25, "failover delay per degraded view, seconds (with -outage)")
+	spansPath := fs.String("spans", "", "record the Proposed policy's span forest to this JSONL file (analyze with repltrace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,6 +136,9 @@ func run(args []string, stdout io.Writer) error {
 		simCfg := cfg
 		simCfg.Warmup = e.warm
 		simCfg.RetainSamples = *percentiles
+		if i == 0 && *spansPath != "" {
+			simCfg.Trace = repro.NewSpanBuffer(0)
+		}
 		res, err := repro.Simulate(w, est, e.pol, simCfg, repro.NewStream(*seed+1))
 		if err != nil {
 			return err
@@ -152,10 +160,18 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(tw)
 		if i == 0 {
 			proposed = res
+			if simCfg.Trace != nil {
+				if err := repro.SaveSpans(*spansPath, simCfg.Trace.Spans()); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+	if *spansPath != "" {
+		fmt.Fprintf(stdout, "\nspan forest written to %s (repltrace -i %s)\n", *spansPath, *spansPath)
 	}
 	if *bySite && proposed != nil {
 		fmt.Fprintln(stdout, "\nper-site breakdown (Proposed):")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -102,5 +103,27 @@ func TestRunSimRejectsBadAvailability(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-scale", "small", "-requests", "50", "-outage", "2"}, &sb); err == nil {
 		t.Error("availability 2 accepted")
+	}
+}
+
+func TestRunSimSpans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	var sb strings.Builder
+	if err := run([]string{"-scale", "small", "-requests", "60", "-spans", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "span forest written to") {
+		t.Fatalf("span note missing:\n%s", sb.String())
+	}
+	spans, err := repro.LoadSpans(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := repro.AnalyzeSpans(spans)
+	if a.Traces == 0 {
+		t.Fatal("span file holds no page traces")
+	}
+	if a.LocalWins+a.RemoteWins != a.Traces {
+		t.Fatalf("wins %d+%d != traces %d", a.LocalWins, a.RemoteWins, a.Traces)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/repair"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/webserve"
 	"repro/internal/workload"
 )
@@ -89,6 +90,13 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// Log, when non-nil, receives one line per transition and repair.
 	Log io.Writer
+	// Journal, when non-nil, is the control-plane flight recorder: every
+	// probe transition, repair plan, placement push, and supervisor error
+	// lands in it as a structured event. On a reconcile failure the journal
+	// is additionally dumped to Log, so the recorder's tail survives the
+	// crash it explains. Share one journal with webserve.ClusterOptions to
+	// expose it at /debug/journal.
+	Journal *trace.Journal
 }
 
 func (o Options) normalize() Options {
@@ -279,6 +287,10 @@ func (s *Supervisor) setState(i int, to SiteState, at time.Duration) {
 	s.states[i] = to
 	s.transitions = append(s.transitions, Transition{At: at, Site: workload.SiteID(i), From: from, To: to})
 	s.cTransitions.Inc()
+	s.opts.Journal.Record("probe.transition",
+		trace.I(trace.AttrSite, int64(i)),
+		trace.A("from", from.String()),
+		trace.A("to", to.String()))
 	s.logf("t=%v site %d: %v -> %v", at.Round(time.Millisecond), i, from, to)
 }
 
@@ -313,11 +325,15 @@ func (s *Supervisor) reconcile() {
 		}
 		s.mu.Unlock()
 		s.cRecoveries.Inc()
+		s.opts.Journal.Record("plan.applied",
+			trace.A("mode", "recovery"),
+			trace.I("sites_down", 0))
+		s.opts.Journal.Record("controller.recovered")
 		s.logf("recovered: healthy placement reinstated")
 		return
 	}
 
-	plan, err := repair.Compute(s.env, s.healthy, down, repair.Options{Workers: s.opts.Workers})
+	plan, err := repair.Compute(s.env, s.healthy, down, repair.Options{Workers: s.opts.Workers, Journal: s.opts.Journal})
 	if err != nil {
 		s.fail(fmt.Errorf("controller: repair plan: %w", err))
 		return
@@ -339,16 +355,28 @@ func (s *Supervisor) reconcile() {
 	}
 	s.mu.Unlock()
 	s.cRepairs.Inc()
+	s.opts.Journal.Record("plan.applied",
+		trace.A("mode", "repair"),
+		trace.I("sites_down", int64(len(down))),
+		trace.I("rehomed", int64(len(plan.Delta.Rehomed))))
 	s.logf("repaired: %d sites down, %d pages re-homed, D %.4f -> %.4f (degraded %.4f)",
 		len(down), len(plan.Delta.Rehomed), plan.Delta.DHealthy, plan.Delta.DAfter, plan.Delta.DBefore)
 }
 
-// fail records a reconcile error (visible via Err) without killing the loop.
+// fail records a reconcile error (visible via Err) without killing the loop,
+// and dumps the journal's tail to Log — the flight recorder's whole point is
+// explaining this moment.
 func (s *Supervisor) fail(err error) {
 	s.mu.Lock()
 	s.lastErr = err
 	s.mu.Unlock()
+	s.opts.Journal.Record("supervisor.error", trace.A(trace.AttrReason, err.Error()))
 	s.logf("%v", err)
+	if s.opts.Journal != nil && s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, "controller: journal dump (%d events, %d dropped):\n",
+			len(s.opts.Journal.Events()), s.opts.Journal.Dropped())
+		_ = s.opts.Journal.WriteText(s.opts.Log)
+	}
 }
 
 func (s *Supervisor) logf(format string, args ...interface{}) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/webserve"
 	"repro/internal/workload"
@@ -53,7 +54,8 @@ func TestStateMachineTransitions(t *testing.T) {
 	}
 	defer cluster.Close()
 
-	s := New(env, p, cluster, Options{FailThreshold: 3, OKThreshold: 2, Workers: 1})
+	journal := trace.NewJournal(128)
+	s := New(env, p, cluster, Options{FailThreshold: 3, OKThreshold: 2, Workers: 1, Journal: journal})
 	up, down := []bool{true, true, true}, []bool{false, true, true}
 
 	// One lost probe suspects, the next success clears — no repair.
@@ -112,6 +114,37 @@ func TestStateMachineTransitions(t *testing.T) {
 	}
 	if err := s.Err(); err != nil {
 		t.Fatal(err)
+	}
+
+	// The flight recorder saw the whole episode: every transition, the
+	// repair plan, both placement pushes, and the final recovery.
+	counts := make(map[string]int)
+	for _, tc := range trace.CountEventTypes(journal.Events()) {
+		counts[tc.Type] = tc.Count
+	}
+	// up→suspect, suspect→up, up→suspect, suspect→down, down→recovering,
+	// recovering→up (the flap while down never leaves the Down state).
+	if counts["probe.transition"] != 6 {
+		t.Fatalf("probe.transition events = %d, want 6; journal: %+v", counts["probe.transition"], journal.Events())
+	}
+	for typ, want := range map[string]int{
+		"repair.planned":       1,
+		"plan.applied":         2, // one repair push, one recovery push
+		"controller.recovered": 1,
+	} {
+		if counts[typ] != want {
+			t.Fatalf("%s events = %d, want %d", typ, counts[typ], want)
+		}
+	}
+	// The repair.planned event carries the plan's prediction.
+	for _, ev := range journal.Events() {
+		if ev.Type == "repair.planned" {
+			for _, k := range []string{"down", "rehomed", "d_healthy", "d_degraded", "d_after"} {
+				if ev.Field(k) == "" {
+					t.Fatalf("repair.planned missing field %q: %+v", k, ev)
+				}
+			}
+		}
 	}
 }
 

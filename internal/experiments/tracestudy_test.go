@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestCriticalPathShape(t *testing.T) {
+	res, err := CriticalPath(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pages == 0 {
+		t.Fatal("no pages compared")
+	}
+	if res.Within > res.Pages {
+		t.Fatalf("within %d > pages %d", res.Within, res.Pages)
+	}
+	if res.WinnerAgreement < 0 || res.WinnerAgreement > 1 {
+		t.Fatalf("winner agreement %g outside [0,1]", res.WinnerAgreement)
+	}
+	if res.Transfer <= 0 {
+		t.Fatal("no observed transfer time")
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "winner agreement") {
+		t.Fatalf("unexpected rendering:\n%s", buf.String())
+	}
+}
+
+// TestCriticalPathUnperturbed pins the study's validity: with the §5.1
+// deviations turned off the simulator realizes exactly the conditions the
+// planner assumed, so observed per-page D must essentially equal predicted
+// D and the dominant chain must agree everywhere.
+func TestCriticalPathUnperturbed(t *testing.T) {
+	o := tiny()
+	o.Perturb = netsim.NoPerturbConfig()
+	res, err := CriticalPath(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanAbsRelErr > 0.01 {
+		t.Fatalf("unperturbed mean |obs-pred|/pred = %.4f, want ~0", res.MeanAbsRelErr)
+	}
+	if res.Within != res.Pages {
+		t.Fatalf("unperturbed run flagged %d of %d pages", res.Pages-res.Within, res.Pages)
+	}
+	if res.WinnerAgreement < 0.99 {
+		t.Fatalf("unperturbed winner agreement %.3f, want ~1", res.WinnerAgreement)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Metrics counts what the middleware actually injected. All fields are
@@ -16,6 +17,20 @@ type Metrics struct {
 	Resets      *telemetry.Counter // connections dropped before any byte
 	Truncations *telemetry.Counter // bodies cut mid-transfer
 	Delayed     *telemetry.Counter // requests that slept an injected delay
+
+	// Journal, when non-nil, receives one "fault.injected" event per
+	// injected fault (kind + site), so the flight recorder interleaves the
+	// chaos the middleware caused with the control plane's reaction to it.
+	Journal *trace.Journal
+	// Site labels this middleware's journal events ("repo" or a site index).
+	Site string
+}
+
+// record books one injected fault of the given kind into the journal.
+func (m Metrics) record(kind string) {
+	m.Journal.Record("fault.injected",
+		trace.A("kind", kind),
+		trace.A(trace.AttrSite, m.Site))
 }
 
 // MetricsFor registers the middleware counters under prefix (e.g.
@@ -47,17 +62,21 @@ func Middleware(inj *Injector, clock func() time.Duration, m Metrics, next http.
 		d := inj.Decide(elapsed)
 		if d.Delay > 0 {
 			m.Delayed.Inc()
+			m.record("delay")
 			time.Sleep(d.Delay) //repllint:allow determinism — injected latency is a real wall-clock delay by design
 		}
 		switch d.Action {
 		case Fail:
 			m.Failures.Inc()
+			m.record("fail")
 			http.Error(rw, "fault injected: server unavailable", http.StatusServiceUnavailable)
 		case Reset:
 			m.Resets.Inc()
+			m.record("reset")
 			panic(http.ErrAbortHandler)
 		case Truncate:
 			m.Truncations.Inc()
+			m.record("truncate")
 			tw := &truncatingWriter{rw: rw}
 			next.ServeHTTP(tw, req)
 			// Push the partial body out of the server's buffer before

@@ -18,6 +18,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -75,6 +76,14 @@ type Config struct {
 	// cluster's repository fallback). The zero value simulates a perfectly
 	// healthy cluster.
 	Outage OutageConfig
+	// Trace, when non-nil, receives the measured pass's span forest: one
+	// "page" root per view with per-chain time splits on the simulator's
+	// virtual clock, in the same vocabulary the live webserve client emits.
+	// Span IDs draw from a dedicated Split-derived stream and views are
+	// appended in deterministic site-then-request order, so equal seeds
+	// yield a byte-identical JSONL export (pinned by the trace-golden CI
+	// stage). Warmup passes emit nothing.
+	Trace *trace.Buffer
 }
 
 // OutageConfig is the simulator's degraded mode: each page view finds its
@@ -140,6 +149,11 @@ type Result struct {
 	DegradedViews int64
 
 	alpha1, alpha2 float64
+
+	// spans is this partial result's site-local span forest; Run merges the
+	// partials in site order into Config.Trace so the export order is
+	// deterministic despite cross-site concurrency.
+	spans []trace.Span
 }
 
 // newResult builds an empty result for a workload.
@@ -257,6 +271,7 @@ func Run(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg Config, s
 		res.LocalRequests += o.partial.LocalRequests
 		res.RepoRequests += o.partial.RepoRequests
 		res.DegradedViews += o.partial.DegradedViews
+		cfg.Trace.Add(o.partial.spans...)
 		if cfg.RetainSamples {
 			for _, v := range o.partial.Samples.Values() {
 				res.Samples.Add(v)
@@ -300,6 +315,9 @@ const (
 	simOptStream
 	simArrivalStream
 	simOutageStream
+	// simTraceStream feeds span-ID generation only; Config.Trace therefore
+	// cannot shift the page/perturb/optional/outage sequences.
+	simTraceStream
 )
 
 // simulatePass runs RequestsPerSite page views; when out is nil the pass is
@@ -321,6 +339,14 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 	// Telemetry instruments, fetched once per pass; all nil (no-op, zero
 	// allocation per request) when disabled or during warmup. Sites run
 	// concurrently, so the instruments' atomics are the synchronization.
+	// The span emitter materializes the measured pass as a trace forest;
+	// its ID stream is Split-derived, so arming it never perturbs the
+	// request sequences policies are compared on.
+	var em *spanEmitter
+	if out != nil && cfg.Trace != nil {
+		em = &spanEmitter{ids: trace.NewIDGen(stream.Split(simTraceStream)), site: int(i)}
+	}
+
 	var pageHist, optHist *telemetry.Histogram
 	var cLocalReq, cRepoReq, cSplit, cLocalOnly, cRemoteOnly, cDegraded *telemetry.Counter
 	if out != nil {
@@ -343,6 +369,9 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 	var siteQ, repoQ *fluidQueue
 	var clock float64
 	var interArrival float64
+	// tclock is the span timeline when queueing is off: views serialize at
+	// their own response times, which keeps Start values deterministic.
+	var tclock float64
 	if cfg.Queueing {
 		siteCap := float64(w.Sites[i].Capacity)
 		repoCap := float64(w.Config.RepoCapacity)
@@ -396,28 +425,50 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 		}
 
 		var localT, remoteT units.Seconds
+		var localXfer, remoteXfer, remoteOvhdEff units.Seconds
 		if localReqs > 0 {
-			localT = localOvhd + localRate.TransferTime(localBytes)
+			localXfer = localRate.TransferTime(localBytes)
+			localT = localOvhd + localXfer
 		}
 		if repoReqs > 0 {
-			remoteT = repoOvhd + repoRate.TransferTime(remoteBytes) +
-				units.Seconds(float64(cfg.RemoteRedirectPenalty)*float64(repoReqs))
+			remoteXfer = repoRate.TransferTime(remoteBytes)
+			penalty := units.Seconds(float64(cfg.RemoteRedirectPenalty) * float64(repoReqs))
+			// Addition order matches the pre-instrumentation expression so
+			// golden simulation results stay bit-identical.
+			remoteT = repoOvhd + remoteXfer + penalty
+			remoteOvhdEff = repoOvhd + penalty
 		}
 		if !siteUp {
 			remoteT += cfg.Outage.FailoverDelay
 		}
 
+		var localQD, remoteQD units.Seconds
 		if cfg.Queueing {
 			clock += arrivalStream.Uniform(0, 2*interArrival) // mean 1/rate
 			if localReqs > 0 {
-				localT += units.Seconds(siteQ.delay(clock, float64(localReqs)))
+				localQD = units.Seconds(siteQ.delay(clock, float64(localReqs)))
+				localT += localQD
 			}
 			if repoReqs > 0 {
-				remoteT += units.Seconds(repoQ.delay(clock, float64(repoReqs)))
+				remoteQD = units.Seconds(repoQ.delay(clock, float64(repoReqs)))
+				remoteT += remoteQD
 			}
 		}
 
 		pageRT := float64(units.MaxSeconds(localT, remoteT))
+		viewStart := tclock
+		if cfg.Queueing {
+			viewStart = clock
+		}
+		var vTID trace.TraceID
+		var vRoot trace.SpanID
+		if em != nil {
+			vTID, vRoot = em.emitView(j, viewStart, pageRT, siteUp, cfg.Outage.FailoverDelay,
+				&viewTiming{total: localT, transfer: localXfer, queue: localQD, overhead: localOvhd,
+					bytes: localBytes, requests: localReqs},
+				&viewTiming{total: remoteT, transfer: remoteXfer, queue: remoteQD, overhead: remoteOvhdEff,
+					bytes: remoteBytes, requests: repoReqs})
+		}
 		pageHist.Observe(pageRT)
 		// Chain-split classification of the compulsory set (the HTML
 		// itself is local when the site is up, so localReqs > 1 means
@@ -464,6 +515,14 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 						t += units.Seconds(repoQ.delay(clock, 1))
 					}
 				}
+				if em != nil {
+					chain := "remote"
+					if optLocal {
+						chain = "local"
+					}
+					// Optionals serialize after the page completes.
+					em.emitOpt(vTID, vRoot, pg.Optional[idx].Object, chain, viewStart+pageRT+optTotal, t)
+				}
 				optTotal += float64(t)
 				optHist.Observe(float64(t))
 				if out != nil {
@@ -474,6 +533,7 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 
 		cLocalReq.Add(localReqs)
 		cRepoReq.Add(repoReqs)
+		tclock += pageRT + optTotal
 		if out != nil {
 			out.PageRT.Add(pageRT)
 			out.SitePageRT[i].Add(pageRT)
@@ -487,6 +547,9 @@ func simulatePass(w *workload.Workload, est *netsim.Estimates, dec Decider, cfg 
 				out.Samples.Add(pageRT)
 			}
 		}
+	}
+	if em != nil {
+		out.spans = em.spans
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+package httpsim
+
+import (
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// spanEmitter materializes one site's measured pass as a span forest on the
+// simulator's virtual clock: one "page" root per view, a "chain" span per
+// Eq. 5 side carrying the transfer/queue/overhead split, a "failover" span
+// on degraded views, and an "opt" span per optional follow-up. The same
+// vocabulary the live client emits (internal/trace), so one analyzer reads
+// both. IDs come from a dedicated Split-derived stream, and the forest is
+// appended in view order — the whole export is a pure function of the run
+// seed, which the trace-golden CI stage pins byte for byte.
+type spanEmitter struct {
+	ids   *trace.IDGen
+	site  int
+	spans []trace.Span
+}
+
+// viewTiming carries one chain's components, pre-split by cause.
+type viewTiming struct {
+	total    units.Seconds
+	transfer units.Seconds
+	queue    units.Seconds
+	overhead units.Seconds
+	bytes    units.ByteSize
+	requests int64
+}
+
+// emitView appends the span tree of one page view and returns the root
+// span's trace ID so optional follow-ups can parent under it.
+func (em *spanEmitter) emitView(j workload.PageID, start, pageRT float64, siteUp bool, failover units.Seconds, local, remote *viewTiming) (trace.TraceID, trace.SpanID) {
+	tid := em.ids.TraceID()
+	root := trace.Span{
+		Trace: tid,
+		ID:    em.ids.SpanID(),
+		Name:  trace.SpanPage,
+		Kind:  trace.KindSim,
+		Start: start,
+		Dur:   pageRT,
+		Attrs: []trace.Attr{
+			trace.I(trace.AttrPage, int64(j)),
+			trace.I(trace.AttrSite, int64(em.site)),
+		},
+	}
+	if !siteUp {
+		root.Attrs = append(root.Attrs, trace.A(trace.AttrDegraded, "true"))
+	}
+	em.spans = append(em.spans, root)
+	if local.requests > 0 {
+		em.emitChain(tid, root.ID, "local", start, local)
+	}
+	if remote.requests > 0 {
+		chainID := em.emitChain(tid, root.ID, "remote", start, remote)
+		if !siteUp && failover > 0 {
+			em.spans = append(em.spans, trace.Span{
+				Trace:  tid,
+				ID:     em.ids.SpanID(),
+				Parent: chainID,
+				Name:   trace.SpanFailover,
+				Kind:   trace.KindSim,
+				Start:  start,
+				Dur:    float64(failover),
+			})
+		}
+	}
+	return tid, root.ID
+}
+
+// emitChain appends one Eq. 5 chain span with its time split.
+func (em *spanEmitter) emitChain(tid trace.TraceID, parent trace.SpanID, kind string, start float64, t *viewTiming) trace.SpanID {
+	id := em.ids.SpanID()
+	em.spans = append(em.spans, trace.Span{
+		Trace:  tid,
+		ID:     id,
+		Parent: parent,
+		Name:   trace.SpanChain,
+		Kind:   trace.KindSim,
+		Start:  start,
+		Dur:    float64(t.total),
+		Attrs: []trace.Attr{
+			trace.A(trace.AttrChain, kind),
+			trace.I(trace.AttrBytes, int64(t.bytes)),
+			trace.I("requests", t.requests),
+			trace.F(trace.AttrXferS, float64(t.transfer)),
+			trace.F(trace.AttrQueueS, float64(t.queue)),
+			trace.F(trace.AttrOvhdS, float64(t.overhead)),
+		},
+	})
+	return id
+}
+
+// emitOpt appends one optional-download span under the view's root.
+func (em *spanEmitter) emitOpt(tid trace.TraceID, parent trace.SpanID, k workload.ObjectID, chain string, start float64, dur units.Seconds) {
+	em.spans = append(em.spans, trace.Span{
+		Trace:  tid,
+		ID:     em.ids.SpanID(),
+		Parent: parent,
+		Name:   trace.SpanOpt,
+		Kind:   trace.KindSim,
+		Start:  start,
+		Dur:    float64(dur),
+		Attrs: []trace.Attr{
+			trace.I(trace.AttrObject, int64(k)),
+			trace.A(trace.AttrChain, chain),
+		},
+	})
+}

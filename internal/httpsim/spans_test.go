@@ -1,0 +1,140 @@
+package httpsim
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/policies"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// traceRun runs the simulator with tracing armed and returns the span
+// forest's JSONL export.
+func traceRun(t *testing.T, seed uint64, queueing, warmup bool) ([]trace.Span, []byte) {
+	t.Helper()
+	w, est := simEnv(t, 41)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 100
+	cfg.Queueing = queueing
+	cfg.Warmup = warmup
+	cfg.Trace = trace.NewBuffer(0)
+	if _, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(seed)); err != nil {
+		t.Fatal(err)
+	}
+	spans := cfg.Trace.Spans()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	return spans, buf.Bytes()
+}
+
+// TestTraceGolden pins the tentpole determinism guarantee: the same seed
+// yields a byte-identical span-forest export, across runs and despite
+// cross-site concurrency. The CI trace-golden stage re-checks this from a
+// cold process.
+func TestTraceGolden(t *testing.T) {
+	_, a := traceRun(t, 7, false, false)
+	_, b := traceRun(t, 7, false, false)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different span-forest exports")
+	}
+	_, c := traceRun(t, 8, false, false)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical span forests")
+	}
+	// Warmup must not change the measured pass's forest.
+	_, d := traceRun(t, 7, false, true)
+	if !bytes.Equal(a, d) {
+		t.Fatal("warmup pass leaked spans into the measured forest")
+	}
+}
+
+// TestTraceSpanShape validates the emitted tree: every view has a page
+// root whose duration equals the Eq. 5 max of its chains, and every chain
+// span's transfer/queue/overhead split sums to its duration.
+func TestTraceSpanShape(t *testing.T) {
+	spans, _ := traceRun(t, 7, true, false)
+	if len(spans) == 0 {
+		t.Fatal("no spans emitted")
+	}
+	roots := make(map[trace.TraceID]*trace.Span)
+	for i := range spans {
+		s := &spans[i]
+		if s.Name == trace.SpanPage {
+			if s.Parent != 0 {
+				t.Fatalf("page span has parent: %+v", s)
+			}
+			roots[s.Trace] = s
+		}
+	}
+	w, _ := simEnv(t, 41)
+	wantViews := 100 * w.NumSites()
+	if len(roots) != wantViews {
+		t.Fatalf("got %d page roots, want %d", len(roots), wantViews)
+	}
+	chains := 0
+	for i := range spans {
+		s := &spans[i]
+		if s.Name != trace.SpanChain {
+			continue
+		}
+		chains++
+		root := roots[s.Trace]
+		if root == nil || s.Parent != root.ID {
+			t.Fatalf("chain not parented under its page root: %+v", s)
+		}
+		xfer, _ := strconv.ParseFloat(s.Attr(trace.AttrXferS), 64)
+		queue, _ := strconv.ParseFloat(s.Attr(trace.AttrQueueS), 64)
+		ovhd, _ := strconv.ParseFloat(s.Attr(trace.AttrOvhdS), 64)
+		if diff := math.Abs(xfer + queue + ovhd - s.Dur); diff > 1e-9 {
+			t.Fatalf("chain split %g+%g+%g != dur %g: %+v", xfer, queue, ovhd, s.Dur, s)
+		}
+		if k := s.Attr(trace.AttrChain); k != "local" && k != "remote" {
+			t.Fatalf("chain kind %q", k)
+		}
+	}
+	if chains < wantViews {
+		t.Fatalf("only %d chain spans for %d views", chains, wantViews)
+	}
+
+	// The analyzer reads the forest directly: observed D per trace is the
+	// root duration, and the winner is the max chain.
+	a := trace.Analyze(spans)
+	if a.Traces != wantViews {
+		t.Fatalf("Analyze saw %d traces, want %d", a.Traces, wantViews)
+	}
+	if a.LocalWins+a.RemoteWins != wantViews {
+		t.Fatalf("wins %d+%d != views %d", a.LocalWins, a.RemoteWins, wantViews)
+	}
+	if a.Queue <= 0 {
+		t.Fatal("queueing run recorded no queue time")
+	}
+}
+
+// TestTraceDegradedViews checks outage runs mark degraded roots and emit
+// failover spans the analyzer books under retry/backoff time.
+func TestTraceDegradedViews(t *testing.T) {
+	w, est := simEnv(t, 41)
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 100
+	cfg.Outage = OutageConfig{Enabled: true, Availability: 0.5, FailoverDelay: 2.5}
+	cfg.Trace = trace.NewBuffer(0)
+	res, err := Run(w, est, policies.NewLocal(w), cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedViews == 0 {
+		t.Fatal("no degraded views at 50% availability")
+	}
+	a := trace.Analyze(cfg.Trace.Spans())
+	if int64(a.DegradedViews) != res.DegradedViews {
+		t.Fatalf("trace says %d degraded views, result says %d", a.DegradedViews, res.DegradedViews)
+	}
+	if a.RetryBackoff < 2.5*float64(res.DegradedViews) {
+		t.Fatalf("failover time %g < %g", a.RetryBackoff, 2.5*float64(res.DegradedViews))
+	}
+}

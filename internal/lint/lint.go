@@ -3,7 +3,8 @@
 // rests on: no wall-clock or ambient randomness inside the deterministic
 // packages, named-constant discipline for rng stream labels, sorted
 // iteration before anything that feeds output, no float equality, telemetry
-// metric-name hygiene, and error-handling discipline.
+// metric-name hygiene, error-handling discipline, and span lifecycle
+// balance (every trace/telemetry span creation reaches End or escapes).
 //
 // The suite is built only on the standard library (go/parser, go/ast,
 // go/types, go/importer) — no golang.org/x/tools — honoring the repo's
@@ -89,6 +90,7 @@ var Analyzers = []*Analyzer{
 	FloatCompareAnalyzer,
 	TelemetryNameAnalyzer,
 	ErrorDisciplineAnalyzer,
+	SpanBalanceAnalyzer,
 }
 
 // ByName returns the analyzers with the given names, or all of them when

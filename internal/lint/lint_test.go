@@ -111,6 +111,7 @@ func TestFixtures(t *testing.T) {
 		{"floatcmp", []string{"float-compare"}},
 		{"telemetryname", []string{"telemetry-naming"}},
 		{"errcheck", []string{"error-discipline"}},
+		{"spanbalance", []string{"span-balance"}},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) { checkFixture(t, c.dir, c.rules...) })

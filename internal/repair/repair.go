@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -39,6 +40,11 @@ type Options struct {
 	// core.Options.Workers: 0 means GOMAXPROCS, 1 forces sequential
 	// execution, and every value produces byte-identical repair plans.
 	Workers int
+	// Journal, when non-nil, records one "repair.planned" event per Compute
+	// with the down set, re-home count, copy traffic, and the predicted
+	// objective before/after. The event is bookkeeping only — it never
+	// influences the plan, which stays a pure function of (env, p, down).
+	Journal *trace.Journal
 }
 
 // Rehome records one page's move off a dead site.
@@ -241,6 +247,13 @@ func Compute(env *model.Env, p *model.Placement, down []workload.SiteID, opts Op
 		Feasible: report.Feasible(),
 	}
 	rp.Delta.Copies, rp.Delta.CopyBytes = copySets(w, p, repaired, surviving)
+	opts.Journal.Record("repair.planned",
+		trace.A("down", fmt.Sprint(rp.Down)),
+		trace.I("rehomed", int64(len(rp.Delta.Rehomed))),
+		trace.I("copy_bytes", int64(rp.Delta.CopyBytes)),
+		trace.F("d_healthy", rp.Delta.DHealthy),
+		trace.F("d_degraded", rp.Delta.DBefore),
+		trace.F("d_after", rp.Delta.DAfter))
 	return rp, nil
 }
 

@@ -48,6 +48,11 @@ func mix(z uint64) uint64 {
 // Float64 returns a uniform value in [0, 1).
 func (s *Stream) Float64() float64 { return s.r.Float64() }
 
+// Uint64 returns a uniform 64-bit value. Trace and span identifiers draw
+// from dedicated Split-derived streams through this method, so an ID
+// sequence is a pure function of (seed, stream label).
+func (s *Stream) Uint64() uint64 { return s.r.Uint64() }
+
 // Uniform returns a uniform value in [lo, hi). It also accepts lo == hi
 // (returns lo) so degenerate config ranges behave.
 func (s *Stream) Uniform(lo, hi float64) float64 {

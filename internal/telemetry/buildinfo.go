@@ -1,0 +1,25 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo publishes the process's build identity into the
+// registry: a build.info gauge pinned at 1 (the Prometheus build_info
+// idiom — its presence marks an instrumented process) plus string infos
+// for the Go toolchain version and, when the binary embeds build metadata,
+// the module path and version. No-op on a nil registry.
+func RegisterBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("build.info").Set(1)
+	r.SetInfo("build.go_version", runtime.Version())
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		r.SetInfo("build.module", bi.Main.Path)
+		if bi.Main.Version != "" {
+			r.SetInfo("build.module_version", bi.Main.Version)
+		}
+	}
+}

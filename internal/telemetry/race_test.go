@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentObserveSnapshot hammers one registry's counters, gauges and
+// histograms from many goroutines while snapshotters run alongside, and
+// checks the ordering invariant Observe guarantees: the bucket increment
+// lands before the total count, so a reader that loads Count first and the
+// buckets second can never see the buckets lag the count. Run under -race
+// (scripts/ci.sh does) this also proves the whole hot path and the
+// registry's lazy lookups are data-race free.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	const (
+		writers = 8
+		iters   = 2000
+	)
+	r := NewRegistry()
+	h := r.Histogram("race.page_rt_seconds", LatencyBuckets)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Snapshot readers: the invariant check plus the text/JSON encoders.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				// Count first, buckets second: every observation counted in
+				// n had already incremented its bucket.
+				n := h.Count()
+				var inBuckets int64
+				for _, c := range h.bucketCounts() {
+					inBuckets += c
+				}
+				if inBuckets < n {
+					t.Errorf("bucket sum %d < count %d: Observe ordering violated", inBuckets, n)
+					return
+				}
+				snap := r.Snapshot()
+				var buf bytes.Buffer
+				if err := snap.WriteText(&buf); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+				buf.Reset()
+				if err := snap.WriteJSON(&buf); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < iters; i++ {
+				// Lazy lookups race the registry maps on purpose.
+				r.Counter("race.requests_total").Inc()
+				r.Gauge("race.inflight").Set(float64(i))
+				h.Observe(float64(w*iters+i) * 0.0001)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	if got := h.Count(); got != writers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, writers*iters)
+	}
+	var inBuckets int64
+	for _, c := range h.bucketCounts() {
+		inBuckets += c
+	}
+	if inBuckets != writers*iters {
+		t.Fatalf("final bucket sum = %d, want %d", inBuckets, writers*iters)
+	}
+	if got := r.Counter("race.requests_total").Value(); got != writers*iters {
+		t.Fatalf("counter = %d, want %d", got, writers*iters)
+	}
+}

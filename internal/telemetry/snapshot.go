@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 )
 
 // Snapshot is a point-in-time copy of a registry's instruments, ordered by
@@ -14,6 +15,13 @@ type Snapshot struct {
 	Counters   []CounterPoint   `json:"counters"`
 	Gauges     []GaugePoint     `json:"gauges,omitempty"`
 	Histograms []HistogramPoint `json:"histograms,omitempty"`
+	Infos      []InfoPoint      `json:"infos,omitempty"`
+}
+
+// InfoPoint is one string fact (build metadata and the like).
+type InfoPoint struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
 }
 
 // CounterPoint is one counter's snapshot.
@@ -101,6 +109,14 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hp)
 	}
+	inames := make([]string, 0, len(r.infos))
+	for n := range r.infos {
+		inames = append(inames, n)
+	}
+	sort.Strings(inames)
+	for _, name := range inames {
+		s.Infos = append(s.Infos, InfoPoint{Name: name, Value: r.infos[name]})
+	}
 	return s
 }
 
@@ -129,6 +145,11 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	for _, in := range s.Infos {
+		if _, err := fmt.Fprintf(w, "%-40s %s\n", in.Name, in.Value); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -142,12 +163,26 @@ func (s *Snapshot) CounterValue(name string) int64 {
 	return 0
 }
 
-// Handler serves the registry as a JSON snapshot — the /metrics endpoint.
-// A nil registry serves empty snapshots.
+// Handler serves the registry — the /metrics endpoint. JSON by default;
+// ?format=text (or an Accept header preferring text/plain) selects the
+// aligned-text rendering. A nil registry serves empty snapshots.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if err := r.Snapshot().WriteJSON(w); err != nil {
+		snap := r.Snapshot()
+		wantText := req.URL.Query().Get("format") == "text"
+		if !wantText && req.URL.Query().Get("format") == "" {
+			accept := req.Header.Get("Accept")
+			wantText = strings.HasPrefix(accept, "text/plain")
+		}
+		var err error
+		if wantText {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			err = snap.WriteText(w)
+		} else {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			err = snap.WriteJSON(w)
+		}
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -86,6 +86,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	infos    map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -94,7 +95,20 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		infos:    make(map[string]string),
 	}
+}
+
+// SetInfo records a named string fact (build metadata, config identity) that
+// snapshots alongside the numeric instruments. Last write wins. No-op on a
+// nil registry.
+func (r *Registry) SetInfo(name, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos[name] = value
 }
 
 // Counter returns the named counter, creating it on first use. Returns nil

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSONL writes spans as compact JSON, one span per line — the repo's
+// canonical on-disk trace form (read back by ReadJSONL and cmd/repltrace).
+// The encoding is byte-deterministic for a given span sequence.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return fmt.Errorf("trace: encode span: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a JSONL span stream until EOF.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode span: %w", err)
+		}
+		out = append(out, s)
+	}
+}
+
+// SaveJSONL writes spans to path.
+func SaveJSONL(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := WriteJSONL(f, spans); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSONL reads spans from path.
+func LoadJSONL(path string) ([]Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(bufio.NewReader(f))
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Timestamps
+// and durations are microseconds, per the trace-event format; args carry
+// the span identity (hex) and attributes. A map keeps attribute encoding
+// sorted — encoding/json marshals map keys in sorted order — so the export
+// is byte-deterministic for a given span sequence.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object container form, the one Perfetto and
+// chrome://tracing load directly.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes spans in Chrome trace-event JSON (loadable in
+// Perfetto). Each trace is mapped to its own tid in first-seen order so
+// page views render as separate tracks; span identity and attributes land
+// in args.
+func WriteChrome(w io.Writer, spans []Span) error {
+	tids := make(map[TraceID]int)
+	file := chromeFile{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for i := range spans {
+		s := &spans[i]
+		tid, ok := tids[s.Trace]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Trace] = tid
+		}
+		args := make(map[string]string, len(s.Attrs)+2)
+		args["trace"] = fmt.Sprintf("%016x", uint64(s.Trace))
+		args["span"] = fmt.Sprintf("%016x", uint64(s.ID))
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", uint64(s.Parent))
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Kind,
+			Ph:   "X",
+			Ts:   s.Start * 1e6,
+			Dur:  s.Dur * 1e6,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&file); err != nil {
+		return fmt.Errorf("trace: encode chrome trace: %w", err)
+	}
+	return nil
+}
+
+// SaveChrome writes the Chrome trace-event form to path.
+func SaveChrome(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := WriteChrome(bw, spans); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	return f.Close()
+}

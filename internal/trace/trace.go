@@ -1,0 +1,402 @@
+// Package trace is the repo's request-scoped distributed-tracing layer: a
+// span model shared by the live HTTP system (internal/webserve) and the
+// fluid simulator (internal/httpsim), deterministic trace/span identifiers
+// drawn from dedicated seeded rng streams (the same seed yields the
+// identical span forest), an `X-Repl-Trace` propagation header, Chrome
+// trace-event and JSONL exporters (export.go), a bounded ring-buffer event
+// journal for the control plane (journal.go), and an Eq. 5 critical-path
+// analyzer over recorded span forests (analyze.go).
+//
+// The design follows the repo's telemetry idiom: every entry point is
+// nil-tolerant, so a disabled tracer costs one nil check and zero
+// allocations on the instrumented path.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TraceID identifies one request tree (one page view, end to end).
+type TraceID uint64
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// Attr is one string-valued span or journal attribute. Values are
+// pre-formatted strings so encoding is trivially deterministic.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// A builds a string attribute.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// I builds an integer attribute.
+func I(key string, v int64) Attr { return Attr{Key: key, Value: strconv.FormatInt(v, 10)} }
+
+// F builds a float attribute (shortest round-trippable form, so encodings
+// are byte-stable for equal values).
+func F(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Span is one completed timed operation. Times are float64 seconds since
+// the owning buffer's epoch — the simulator's virtual clock and the live
+// system's wall clock fit the same schema, which is what makes simulated
+// and real executions directly comparable.
+type Span struct {
+	Trace  TraceID `json:"trace"`
+	ID     SpanID  `json:"id"`
+	Parent SpanID  `json:"parent,omitempty"` // 0 = root
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind,omitempty"` // client | server | sim
+	Start  float64 `json:"start"`          // seconds since epoch
+	Dur    float64 `json:"dur"`            // seconds
+	Attrs  []Attr  `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (s *Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Shared span names. The webserve client and the httpsim fluid model emit
+// the same vocabulary so one analyzer reads both.
+const (
+	SpanPage     = "page"     // root: one page view; attrs page, site
+	SpanChain    = "chain"    // one Eq. 5 parallel chain; attr chain=local|remote
+	SpanHTML     = "html"     // the page document fetch
+	SpanMO       = "mo"       // one multimedia-object fetch
+	SpanOpt      = "opt"      // one optional-object follow-up
+	SpanBackoff  = "backoff"  // one retry backoff sleep
+	SpanRetry    = "retry"    // zero-duration marker: one extra attempt
+	SpanFallback = "fallback" // a repository-fallback fetch
+	SpanBreaker  = "breaker"  // zero-duration marker: a breaker decision
+	SpanServe    = "serve"    // server-side handling of one request
+	SpanFailover = "failover" // simulated degraded-view failover cost
+)
+
+// Span kinds.
+const (
+	KindClient = "client"
+	KindServer = "server"
+	KindSim    = "sim"
+)
+
+// Common attribute keys.
+const (
+	AttrPage     = "page"
+	AttrSite     = "site"
+	AttrChain    = "chain" // "local" | "remote"
+	AttrObject   = "object"
+	AttrBytes    = "bytes"
+	AttrReason   = "reason"
+	AttrStatus   = "status"
+	AttrDegraded = "degraded"
+	AttrQueueS   = "queue_s"
+	AttrXferS    = "transfer_s"
+	AttrOvhdS    = "overhead_s"
+)
+
+// Buffer collects completed spans. Append order is the canonical export
+// order, so deterministic producers (httpsim) must append deterministically;
+// concurrent producers (the live client and servers) get safe appends and
+// accept scheduler-dependent order. A nil Buffer drops everything.
+type Buffer struct {
+	mu      sync.Mutex
+	spans   []Span
+	max     int
+	dropped int64
+}
+
+// NewBuffer returns a buffer keeping at most max spans (0 = unbounded).
+// Once full, further spans are counted as dropped rather than evicting old
+// ones: for post-mortem analysis the head of a run matters more than an
+// arbitrary suffix.
+func NewBuffer(max int) *Buffer {
+	return &Buffer{max: max}
+}
+
+// Add appends completed spans. No-op on nil.
+func (b *Buffer) Add(spans ...Span) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range spans {
+		if b.max > 0 && len(b.spans) >= b.max {
+			b.dropped++
+			continue
+		}
+		b.spans = append(b.spans, s)
+	}
+}
+
+// Spans snapshots the buffered spans in append order (nil-safe).
+func (b *Buffer) Spans() []Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Span(nil), b.spans...)
+}
+
+// Len returns the number of buffered spans.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spans)
+}
+
+// Dropped returns how many spans were discarded by the bound.
+func (b *Buffer) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// IDGen allocates non-zero trace and span IDs from a seeded rng stream:
+// the ID sequence is a pure function of the stream's seed, so equal seeds
+// yield identical span forests. Safe for concurrent use.
+type IDGen struct {
+	mu sync.Mutex
+	s  *rng.Stream
+}
+
+// NewIDGen wraps a dedicated rng stream. The stream must not be shared
+// with any other consumer — ID draws would shift its sequence.
+func NewIDGen(s *rng.Stream) *IDGen {
+	return &IDGen{s: s}
+}
+
+// next returns the next non-zero draw.
+func (g *IDGen) next() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if v := g.s.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// TraceID allocates a trace identifier.
+func (g *IDGen) TraceID() TraceID { return TraceID(g.next()) }
+
+// SpanID allocates a span identifier.
+func (g *IDGen) SpanID() SpanID { return SpanID(g.next()) }
+
+// Header is the propagation header carrying "<trace>-<span>" in fixed-width
+// hex: the client stamps it on every request, servers parent their serve
+// spans under it.
+const Header = "X-Repl-Trace"
+
+// FormatHeader renders the header value for a (trace, parent span) pair.
+func FormatHeader(t TraceID, s SpanID) string {
+	return fmt.Sprintf("%016x-%016x", uint64(t), uint64(s))
+}
+
+// ParseHeader parses a header value; ok is false for anything malformed.
+func ParseHeader(v string) (TraceID, SpanID, bool) {
+	if len(v) != 33 || v[16] != '-' {
+		return 0, 0, false
+	}
+	t, err := strconv.ParseUint(v[:16], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	s, err := strconv.ParseUint(v[17:], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return TraceID(t), SpanID(s), true
+}
+
+// Tracer starts live (wall-clock) spans against a shared buffer and epoch.
+// One Tracer per process — the webserve cluster, its clients and its
+// servers share one, so every span lands on a single timeline. The nil
+// Tracer starts nil Actives; every Active method no-ops on nil, so a
+// disabled trace propagates for free through the whole call graph.
+type Tracer struct {
+	buf   *Buffer
+	ids   *IDGen
+	epoch time.Time
+	kind  string
+}
+
+// idStream is the dedicated rng stream label for live span IDs, disjoint
+// from every other consumer of the seed (webserve's client uses 401/402).
+const idStream uint64 = 421
+
+// NewTracer builds a tracer emitting kind-tagged spans into buf, with IDs
+// drawn from the seed's dedicated stream. Returns nil on a nil buffer, so
+// callers wire `opts.Trace` through unconditionally.
+func NewTracer(buf *Buffer, seed uint64, kind string) *Tracer {
+	if buf == nil {
+		return nil
+	}
+	return &Tracer{
+		buf:   buf,
+		ids:   NewIDGen(rng.New(seed).Split(idStream)),
+		epoch: time.Now(),
+		kind:  kind,
+	}
+}
+
+// WithKind returns a tracer view emitting spans of a different kind while
+// sharing this tracer's buffer, ID stream and epoch — the cluster's client
+// and servers land on one timeline with collision-free span IDs.
+func (t *Tracer) WithKind(kind string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{buf: t.buf, ids: t.ids, epoch: t.epoch, kind: kind}
+}
+
+// Now returns seconds since the tracer's epoch (0 on nil).
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch).Seconds()
+}
+
+// Active is a started, not-yet-ended span. End completes it into the
+// buffer; every started Active must be ended on all paths (the repllint
+// span-balance rule enforces a matching End textually).
+type Active struct {
+	tr    *Tracer
+	start time.Time
+
+	mu    sync.Mutex
+	span  Span
+	ended bool
+}
+
+// start begins a span with the given identity.
+func (t *Tracer) start(name string, trace TraceID, parent SpanID) *Active {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Active{
+		tr:    t,
+		start: now,
+		span: Span{
+			Trace:  trace,
+			ID:     t.ids.SpanID(),
+			Parent: parent,
+			Name:   name,
+			Kind:   t.kind,
+			Start:  now.Sub(t.epoch).Seconds(),
+		},
+	}
+}
+
+// StartTrace starts a new root span under a fresh trace ID.
+func (t *Tracer) StartTrace(name string) *Active {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, t.ids.TraceID(), 0)
+}
+
+// StartRemote starts a span parented under a propagated (trace, span)
+// context — the server half of a client request.
+func (t *Tracer) StartRemote(name string, trace TraceID, parent SpanID) *Active {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, trace, parent)
+}
+
+// StartChild starts a child span under a (nil on a nil receiver).
+func (a *Active) StartChild(name string) *Active {
+	if a == nil {
+		return nil
+	}
+	return a.tr.start(name, a.span.Trace, a.span.ID)
+}
+
+// SetAttr attaches an attribute. No-op on nil or after End.
+func (a *Active) SetAttr(attrs ...Attr) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.ended {
+		a.span.Attrs = append(a.span.Attrs, attrs...)
+	}
+}
+
+// Event records a zero-duration child span (a point annotation: one retry,
+// one breaker decision). No-op on nil.
+func (a *Active) Event(name string, attrs ...Attr) {
+	if a == nil {
+		return
+	}
+	ev := a.tr.start(name, a.span.Trace, a.span.ID)
+	ev.SetAttr(attrs...)
+	ev.endWithDur(0)
+}
+
+// Context returns the span's (trace, span) identity for propagation.
+// Zero values on nil.
+func (a *Active) Context() (TraceID, SpanID) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.span.Trace, a.span.ID
+}
+
+// HeaderValue renders the propagation header for requests issued under
+// this span ("" on nil — callers skip the header entirely).
+func (a *Active) HeaderValue() string {
+	if a == nil {
+		return ""
+	}
+	return FormatHeader(a.span.Trace, a.span.ID)
+}
+
+// End completes the span into the tracer's buffer. Idempotent; no-op on
+// nil.
+func (a *Active) End() {
+	if a == nil {
+		return
+	}
+	a.endWithDur(time.Since(a.start).Seconds())
+}
+
+// endWithDur completes with an explicit duration.
+func (a *Active) endWithDur(dur float64) {
+	a.mu.Lock()
+	if a.ended {
+		a.mu.Unlock()
+		return
+	}
+	a.ended = true
+	s := a.span
+	s.Dur = dur
+	a.mu.Unlock()
+	a.tr.buf.Add(s)
+}

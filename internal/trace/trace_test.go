@@ -1,0 +1,369 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestIDGenDeterministicAndNonZero(t *testing.T) {
+	g1 := NewIDGen(rng.New(7).Split(idStream))
+	g2 := NewIDGen(rng.New(7).Split(idStream))
+	for i := 0; i < 1000; i++ {
+		a, b := g1.TraceID(), g2.TraceID()
+		if a != b {
+			t.Fatalf("draw %d: %x != %x — ID sequence not a pure function of seed", i, a, b)
+		}
+		if a == 0 {
+			t.Fatalf("draw %d: zero ID", i)
+		}
+	}
+	g3 := NewIDGen(rng.New(8).Split(idStream))
+	if g3.TraceID() == NewIDGen(rng.New(7).Split(idStream)).TraceID() {
+		t.Fatal("different seeds produced the same first ID")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tr, sp := TraceID(0xdeadbeef01020304), SpanID(0x0000000000000001)
+	v := FormatHeader(tr, sp)
+	if len(v) != 33 {
+		t.Fatalf("header %q has length %d, want 33", v, len(v))
+	}
+	gotT, gotS, ok := ParseHeader(v)
+	if !ok || gotT != tr || gotS != sp {
+		t.Fatalf("roundtrip: got (%x,%x,%v), want (%x,%x,true)", gotT, gotS, ok, tr, sp)
+	}
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 33), strings.Repeat("z", 16) + "-" + strings.Repeat("0", 16)} {
+		if _, _, ok := ParseHeader(bad); ok {
+			t.Errorf("ParseHeader(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestBufferBoundDropsNewest(t *testing.T) {
+	b := NewBuffer(2)
+	b.Add(Span{ID: 1}, Span{ID: 2}, Span{ID: 3})
+	if got := b.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := b.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+	spans := b.Spans()
+	if spans[0].ID != 1 || spans[1].ID != 2 {
+		t.Fatalf("bound evicted the head: %+v", spans)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var b *Buffer
+	b.Add(Span{})
+	if b.Len() != 0 || b.Spans() != nil || b.Dropped() != 0 {
+		t.Fatal("nil Buffer not inert")
+	}
+	var tr *Tracer
+	a := tr.StartTrace(SpanPage)
+	if a != nil {
+		t.Fatal("nil Tracer started a non-nil span")
+	}
+	a.SetAttr(A("k", "v"))
+	a.Event(SpanRetry)
+	c := a.StartChild(SpanChain)
+	if c != nil {
+		t.Fatal("nil Active spawned a non-nil child")
+	}
+	if hv := a.HeaderValue(); hv != "" {
+		t.Fatalf("nil Active header = %q, want empty", hv)
+	}
+	a.End()
+	if NewTracer(nil, 1, KindClient) != nil {
+		t.Fatal("NewTracer(nil buffer) should return nil")
+	}
+	var j *Journal
+	j.Record("x")
+	if j.Total() != 0 || j.Events() != nil {
+		t.Fatal("nil Journal not inert")
+	}
+}
+
+func TestTracerSpanTreeAndEndIdempotent(t *testing.T) {
+	buf := NewBuffer(0)
+	tr := NewTracer(buf, 11, KindClient)
+	root := tr.StartTrace(SpanPage)
+	root.SetAttr(I(AttrPage, 3))
+	child := root.StartChild(SpanChain)
+	child.SetAttr(A(AttrChain, "local"))
+	root.Event(SpanRetry, A(AttrReason, "timeout"))
+	child.End()
+	child.End() // idempotent
+	root.End()
+
+	spans := buf.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3 (double End must not duplicate)", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	rootS, chainS, retryS := byName[SpanPage], byName[SpanChain], byName[SpanRetry]
+	if rootS.Parent != 0 {
+		t.Fatalf("root parent = %x, want 0", rootS.Parent)
+	}
+	if chainS.Parent != rootS.ID || chainS.Trace != rootS.Trace {
+		t.Fatalf("chain not parented under root: %+v vs %+v", chainS, rootS)
+	}
+	if retryS.Parent != rootS.ID || retryS.Dur != 0 {
+		t.Fatalf("event span wrong: %+v", retryS)
+	}
+	if retryS.Attr(AttrReason) != "timeout" {
+		t.Fatalf("event attr lost: %+v", retryS)
+	}
+	if got, want := root.HeaderValue(), FormatHeader(rootS.Trace, rootS.ID); got != want {
+		t.Fatalf("HeaderValue = %q, want %q", got, want)
+	}
+}
+
+func TestJSONLRoundTripAndDeterminism(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, ID: 2, Name: SpanPage, Kind: KindSim, Start: 0.5, Dur: 1.25, Attrs: []Attr{I(AttrPage, 7)}},
+		{Trace: 1, ID: 3, Parent: 2, Name: SpanChain, Kind: KindSim, Start: 0.5, Dur: 1.0, Attrs: []Attr{A(AttrChain, "remote"), F(AttrXferS, 0.75)}},
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteJSONL(&b1, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b2, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("JSONL export not byte-deterministic")
+	}
+	back, err := ReadJSONL(&b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(spans) {
+		t.Fatalf("roundtrip length %d, want %d", len(back), len(spans))
+	}
+	for i := range spans {
+		if back[i].Trace != spans[i].Trace || back[i].ID != spans[i].ID ||
+			back[i].Name != spans[i].Name || back[i].Dur != spans[i].Dur ||
+			back[i].Attr(AttrChain) != spans[i].Attr(AttrChain) {
+			t.Fatalf("span %d mismatch: %+v vs %+v", i, back[i], spans[i])
+		}
+	}
+}
+
+func TestChromeExportValidAndDeterministic(t *testing.T) {
+	spans := []Span{
+		{Trace: 9, ID: 1, Name: SpanPage, Kind: KindSim, Start: 0, Dur: 2, Attrs: []Attr{I(AttrPage, 1)}},
+		{Trace: 9, ID: 2, Parent: 1, Name: SpanChain, Start: 0, Dur: 1.5, Attrs: []Attr{A(AttrChain, "local")}},
+		{Trace: 10, ID: 3, Name: SpanPage, Start: 2, Dur: 1},
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteChrome(&b1, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b2, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("Chrome export not byte-deterministic")
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b1.Bytes(), &file); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) != 3 || file.DisplayTimeUnit != "ms" {
+		t.Fatalf("unexpected container: %+v", file)
+	}
+	ev := file.TraceEvents[0]
+	if ev.Ph != "X" || ev.Dur != 2e6 || ev.Args["trace"] != "0000000000000009" {
+		t.Fatalf("unexpected event: %+v", ev)
+	}
+	if file.TraceEvents[0].Tid != 1 || file.TraceEvents[2].Tid != 2 {
+		t.Fatalf("tids not assigned in first-seen trace order: %+v", file.TraceEvents)
+	}
+	if file.TraceEvents[1].Args["parent"] != "0000000000000001" {
+		t.Fatalf("parent missing from args: %+v", file.TraceEvents[1])
+	}
+}
+
+func TestJournalRingWrap(t *testing.T) {
+	j := NewJournal(4)
+	for i := int64(0); i < 10; i++ {
+		j.Record("ev", I("i", i))
+	}
+	if j.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", j.Total())
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", j.Dropped())
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d (oldest-to-newest rotation broken)", i, ev.Seq, wantSeq)
+		}
+	}
+	if evs[0].Field("i") != "6" {
+		t.Fatalf("field lost in rotation: %+v", evs[0])
+	}
+}
+
+func TestJournalJSONLRoundTripAndCounts(t *testing.T) {
+	j := NewJournal(16)
+	j.Record("probe.transition", A("site", "s1"), A("to", "down"))
+	j.Record("repair.planned", I("rehomed", 12))
+	j.Record("probe.transition", A("site", "s1"), A("to", "up"))
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEventsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[1].Field("rehomed") != "12" {
+		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+	counts := CountEventTypes(back)
+	if len(counts) != 2 || counts[0].Type != "probe.transition" || counts[0].Count != 2 {
+		t.Fatalf("CountEventTypes = %+v", counts)
+	}
+}
+
+func TestJournalHandler(t *testing.T) {
+	j := NewJournal(8)
+	j.Record("plan.applied", I("moved", 3))
+	h := JournalHandler(j)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/journal", nil))
+	evs, err := ReadEventsJSONL(rec.Body)
+	if err != nil || len(evs) != 1 || evs[0].Type != "plan.applied" {
+		t.Fatalf("JSONL body bad: %v %+v", err, evs)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/journal?format=text", nil))
+	if !strings.Contains(rec.Body.String(), "plan.applied") || !strings.Contains(rec.Body.String(), "moved=3") {
+		t.Fatalf("text body bad: %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	JournalHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/journal", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil journal served %d, want 404", rec.Code)
+	}
+}
+
+// synthTrace builds one page-view trace for the analyzer tests.
+func synthTrace(tid TraceID, page int, d, localD, remoteD float64, degraded bool, extra ...Span) []Span {
+	attrs := []Attr{I(AttrPage, int64(page))}
+	if degraded {
+		attrs = append(attrs, A(AttrDegraded, "true"))
+	}
+	spans := []Span{{Trace: tid, ID: 1, Name: SpanPage, Dur: d, Attrs: attrs}}
+	if localD > 0 {
+		spans = append(spans, Span{Trace: tid, ID: 2, Parent: 1, Name: SpanChain, Dur: localD,
+			Attrs: []Attr{A(AttrChain, "local"), F(AttrXferS, localD*0.8), F(AttrQueueS, localD*0.2)}})
+	}
+	if remoteD > 0 {
+		spans = append(spans, Span{Trace: tid, ID: 3, Parent: 1, Name: SpanChain, Dur: remoteD,
+			Attrs: []Attr{A(AttrChain, "remote"), F(AttrXferS, remoteD)}})
+	}
+	for i := range extra {
+		extra[i].Trace = tid
+		extra[i].Parent = 1
+	}
+	return append(spans, extra...)
+}
+
+func TestAnalyzeCriticalPath(t *testing.T) {
+	var spans []Span
+	// Page 1, view A: local chain wins (2.0 > 1.0).
+	spans = append(spans, synthTrace(100, 1, 2.0, 2.0, 1.0, false)...)
+	// Page 1, view B: remote chain wins, with a retry + backoff.
+	spans = append(spans, synthTrace(101, 1, 3.0, 1.0, 3.0, false,
+		Span{ID: 4, Name: SpanRetry, Attrs: []Attr{A(AttrReason, "timeout")}},
+		Span{ID: 5, Name: SpanBackoff, Dur: 0.25})...)
+	// Page 2: degraded view — remote wins regardless of chains.
+	spans = append(spans, synthTrace(102, 2, 5.0, 0, 0, true,
+		Span{ID: 6, Name: SpanFallback, Attrs: []Attr{A(AttrReason, "reset")}})...)
+	// An orphaned server span: ignored by trace accounting.
+	spans = append(spans, Span{Trace: 999, ID: 7, Name: SpanServe, Dur: 0.1})
+
+	a := Analyze(spans)
+	if a.Traces != 3 {
+		t.Fatalf("Traces = %d, want 3", a.Traces)
+	}
+	if a.LocalWins != 1 || a.RemoteWins != 2 {
+		t.Fatalf("wins = %d local / %d remote, want 1/2", a.LocalWins, a.RemoteWins)
+	}
+	if a.Retries != 1 || a.Fallbacks != 1 || a.DegradedViews != 1 {
+		t.Fatalf("retries=%d fallbacks=%d degraded=%d, want 1/1/1", a.Retries, a.Fallbacks, a.DegradedViews)
+	}
+	if a.RetryBackoff != 0.25 {
+		t.Fatalf("RetryBackoff = %g, want 0.25", a.RetryBackoff)
+	}
+
+	p1 := a.PageStat(1)
+	if p1 == nil || p1.Views != 2 {
+		t.Fatalf("page 1 stats bad: %+v", p1)
+	}
+	if p1.MeanD != 2.5 {
+		t.Fatalf("page 1 MeanD = %g, want 2.5", p1.MeanD)
+	}
+	if p1.LocalWins != 1 || p1.RemoteWins != 1 {
+		t.Fatalf("page 1 wins = %d/%d, want 1/1", p1.LocalWins, p1.RemoteWins)
+	}
+	// View A: xfer 1.6+1.0, queue 0.4. View B: xfer 0.8+3.0, queue 0.2.
+	if got, want := p1.Transfer, 1.6+1.0+0.8+3.0; !close(got, want) {
+		t.Fatalf("page 1 Transfer = %g, want %g", got, want)
+	}
+	if got, want := p1.Queue, 0.6; !close(got, want) {
+		t.Fatalf("page 1 Queue = %g, want %g", got, want)
+	}
+	if a.PageStat(3) != nil {
+		t.Fatal("PageStat(3) should be nil")
+	}
+
+	slow := a.TopSlowest(2)
+	if len(slow) != 2 || slow[0].Page != 2 || slow[0].D != 5.0 || slow[1].D != 3.0 {
+		t.Fatalf("TopSlowest = %+v", slow)
+	}
+	if slow[0].Winner != "remote" {
+		t.Fatalf("degraded view winner = %q, want remote", slow[0].Winner)
+	}
+
+	names := a.NameCounts()
+	if len(names) == 0 || names[0].Name != SpanPage && names[0].Name != SpanChain {
+		t.Fatalf("NameCounts = %+v", names)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,8 +1,10 @@
 package webserve
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/htmlrefs"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -92,8 +95,14 @@ type ClientOptions struct {
 	BreakerCooldown time.Duration
 	// Metrics, when non-nil, receives the client's resilience counters
 	// (client.retries, client.fallbacks, client.degraded_pages,
-	// client.request_failures).
+	// client.request_failures) plus the reason-labeled breakdowns
+	// (client.retries_by.*, client.fallbacks_by.*).
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, makes the client emit a span tree per FetchPage
+	// — page root, Eq. 5 chains, per-object fetches, every retry, backoff
+	// sleep, breaker decision and fallback — and stamp the X-Repl-Trace
+	// header on every request so servers parent their serve spans under it.
+	Trace *trace.Tracer
 }
 
 // DefaultClientOptions returns the production defaults described above.
@@ -174,6 +183,64 @@ type Client struct {
 
 	cRetries, cFallbacks, cDegraded, cFailures *telemetry.Counter
 	cTrips, cFastFails                         *telemetry.Counter
+	// Reason-labeled breakdowns of retries and fallbacks, keyed by the
+	// failureReason vocabulary; a missing key yields a nil (no-op) counter.
+	cRetryBy, cFallbackBy map[string]*telemetry.Counter
+
+	tracer *trace.Tracer
+}
+
+// failureReason vocabulary: why a request attempt failed. The same strings
+// label the client.retries_by.* / client.fallbacks_by.* counters and the
+// reason attribute on retry/fallback spans.
+const (
+	reasonTimeout     = "timeout"
+	reasonReset       = "reset"
+	reason5xx         = "5xx"
+	reasonBreakerOpen = "breaker_open"
+	reasonOther       = "other"
+)
+
+// failureReason classifies a request failure for the labeled counters and
+// span attributes.
+func failureReason(err error) string {
+	var se *statusError
+	if errors.As(err, &se) {
+		if se.code >= 500 {
+			return reason5xx
+		}
+		return reasonOther
+	}
+	var boe *breakerOpenError
+	if errors.As(err, &boe) {
+		return reasonBreakerOpen
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return reasonTimeout
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) ||
+		strings.Contains(err.Error(), "connection reset") ||
+		strings.Contains(err.Error(), "EOF") {
+		return reasonReset
+	}
+	return reasonOther
+}
+
+// countRetry bumps the retry total and its reason-labeled breakdown.
+func (c *Client) countRetry(reason string) {
+	c.cRetries.Inc()
+	if c.cRetryBy != nil {
+		c.cRetryBy[reason].Inc()
+	}
+}
+
+// countFallback bumps the fallback total and its reason-labeled breakdown.
+func (c *Client) countFallback(reason string) {
+	c.cFallbacks.Inc()
+	if c.cFallbackBy != nil {
+		c.cFallbackBy[reason].Inc()
+	}
 }
 
 // Dedicated rng stream labels for the client's randomized delays. The
@@ -209,6 +276,7 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 		jitter:        rng.New(opts.JitterSeed).Split(clientBackoffStream),
 		breakerJitter: rng.New(opts.JitterSeed).Split(clientBreakerStream),
 		breakers:      make(map[string]*hostBreaker),
+		tracer:        opts.Trace,
 	}
 	if reg := opts.Metrics; reg != nil {
 		c.cRetries = reg.Counter("client.retries")
@@ -217,6 +285,20 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 		c.cFailures = reg.Counter("client.request_failures")
 		c.cTrips = reg.Counter("client.breaker_trips")
 		c.cFastFails = reg.Counter("client.breaker_fastfails")
+		c.cRetryBy = map[string]*telemetry.Counter{
+			reasonTimeout:     reg.Counter("client.retries_by.timeout"),
+			reasonReset:       reg.Counter("client.retries_by.reset"),
+			reason5xx:         reg.Counter("client.retries_by.5xx"),
+			reasonBreakerOpen: reg.Counter("client.retries_by.breaker_open"),
+			reasonOther:       reg.Counter("client.retries_by.other"),
+		}
+		c.cFallbackBy = map[string]*telemetry.Counter{
+			reasonTimeout:     reg.Counter("client.fallbacks_by.timeout"),
+			reasonReset:       reg.Counter("client.fallbacks_by.reset"),
+			reason5xx:         reg.Counter("client.fallbacks_by.5xx"),
+			reasonBreakerOpen: reg.Counter("client.fallbacks_by.breaker_open"),
+			reasonOther:       reg.Counter("client.fallbacks_by.other"),
+		}
 	}
 	return c
 }
@@ -224,9 +306,17 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 // Options returns the client's normalized options.
 func (c *Client) Options() ClientOptions { return c.opts }
 
-// get fetches a URL fully, once.
-func (c *Client) get(url string) ([]byte, error) {
-	resp, err := c.http.Get(url)
+// get fetches a URL fully, once, stamping the trace-propagation header
+// when the request runs under a span.
+func (c *Client) get(url, traceHdr string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if traceHdr != "" {
+		req.Header.Set(trace.Header, traceHdr)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -366,18 +456,22 @@ func (c *Client) backoff(attempt int) time.Duration {
 
 // getRetry fetches a URL with the configured retry budget; verify, when
 // non-nil, validates the body and its failure counts as a retryable error
-// (truncated and corrupted transfers look exactly like that).
-func (c *Client) getRetry(url string, verify func([]byte) error) (data []byte, retries int, err error) {
+// (truncated and corrupted transfers look exactly like that). sp, when
+// non-nil, is the span the request runs under: its context propagates via
+// X-Repl-Trace, and every retry, backoff sleep and breaker decision lands
+// as a child span or event beneath it.
+func (c *Client) getRetry(url string, verify func([]byte) error, sp *trace.Active) (data []byte, retries int, err error) {
 	var br *hostBreaker
 	if c.opts.BreakerThreshold > 0 {
 		br = c.breakerFor(hostOf(url))
 		if !br.allow(time.Now()) {
 			c.cFastFails.Inc()
+			sp.Event(trace.SpanBreaker, trace.A(trace.AttrReason, "open"), trace.A(trace.AttrSite, hostOf(url)))
 			return nil, 0, &breakerOpenError{host: hostOf(url)}
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		data, err = c.get(url)
+		data, err = c.get(url, sp.HeaderValue())
 		if err == nil && verify != nil {
 			err = verify(data)
 		}
@@ -395,6 +489,7 @@ func (c *Client) getRetry(url string, verify func([]byte) error) (data []byte, r
 			if br != nil && retryable(err) {
 				if br.onFailure(c.opts.BreakerThreshold, time.Now().Add(c.breakerCooldown())) {
 					c.cTrips.Inc()
+					sp.Event(trace.SpanBreaker, trace.A(trace.AttrReason, "trip"), trace.A(trace.AttrSite, hostOf(url)))
 				}
 			} else if br != nil {
 				br.onSuccess()
@@ -402,8 +497,12 @@ func (c *Client) getRetry(url string, verify func([]byte) error) (data []byte, r
 			return nil, retries, err
 		}
 		retries++
-		c.cRetries.Inc()
+		reason := failureReason(err)
+		c.countRetry(reason)
+		sp.Event(trace.SpanRetry, trace.A(trace.AttrReason, reason))
+		bo := sp.StartChild(trace.SpanBackoff)
 		time.Sleep(c.backoff(attempt + 1))
+		bo.End()
 	}
 }
 
@@ -417,22 +516,37 @@ func (c *Client) moVerifier(k workload.ObjectID) func([]byte) error {
 
 // fetchMO downloads one object from url, degrading to the repository when
 // the assigned server keeps failing and a fallback base is configured.
-func (c *Client) fetchMO(url string, k workload.ObjectID) (data []byte, retries int, fellBack bool, err error) {
-	data, retries, err = c.getRetry(url, c.moVerifier(k))
+// parent, when non-nil, receives an "mo" child span covering the whole
+// fetch including any fallback leg.
+func (c *Client) fetchMO(url string, k workload.ObjectID, parent *trace.Active) (data []byte, retries int, fellBack bool, err error) {
+	mo := parent.StartChild(trace.SpanMO)
+	mo.SetAttr(trace.I(trace.AttrObject, int64(k)))
+	data, retries, err = c.getRetry(url, c.moVerifier(k), mo)
 	if err == nil {
+		mo.SetAttr(trace.I(trace.AttrBytes, int64(len(data))))
+		mo.End()
 		return data, retries, false, nil
 	}
 	fb := c.opts.FallbackBase
 	if fb == "" || hostOf(url) == fb {
+		mo.SetAttr(trace.A(trace.AttrReason, failureReason(err)))
+		mo.End()
 		return nil, retries, false, err
 	}
-	c.cFallbacks.Inc()
-	data, r2, err2 := c.getRetry(fb+htmlrefs.MOPath(k), c.moVerifier(k))
+	reason := failureReason(err)
+	c.countFallback(reason)
+	fbSpan := mo.StartChild(trace.SpanFallback)
+	fbSpan.SetAttr(trace.A(trace.AttrReason, reason))
+	data, r2, err2 := c.getRetry(fb+htmlrefs.MOPath(k), c.moVerifier(k), fbSpan)
+	fbSpan.End()
 	retries += r2
 	if err2 != nil {
+		mo.End()
 		// Report the original failure; the fallback error wraps context.
 		return nil, retries, true, fmt.Errorf("%w (repository fallback also failed: %v)", err, err2)
 	}
+	mo.SetAttr(trace.I(trace.AttrBytes, int64(len(data))))
+	mo.End()
 	return data, retries, true, nil
 }
 
@@ -460,22 +574,36 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 	start := time.Now()
 	res := &PageResult{Page: j}
 
-	doc, retries, err := c.getRetry(pageURL, nil)
+	root := c.tracer.StartTrace(trace.SpanPage)
+	root.SetAttr(trace.I(trace.AttrPage, int64(j)), trace.A(trace.AttrSite, hostOf(pageURL)))
+	defer root.End()
+
+	html := root.StartChild(trace.SpanHTML)
+	doc, retries, err := c.getRetry(pageURL, nil, html)
 	res.Retries += retries
 	if err != nil {
 		fb := c.opts.FallbackBase
 		if fb == "" || hostOf(pageURL) == fb || !retryable(err) {
+			html.SetAttr(trace.A(trace.AttrReason, failureReason(err)))
+			html.End()
 			return nil, err
 		}
-		doc, retries, err = c.getRetry(fb+htmlrefs.PagePath(j), nil)
+		fbSpan := html.StartChild(trace.SpanFallback)
+		fbSpan.SetAttr(trace.A(trace.AttrReason, failureReason(err)))
+		doc, retries, err = c.getRetry(fb+htmlrefs.PagePath(j), nil, fbSpan)
+		fbSpan.End()
 		res.Retries += retries
 		if err != nil {
+			html.End()
 			return nil, fmt.Errorf("page %d unreachable on site and repository: %w", j, err)
 		}
 		res.DegradedHTML = true
+		root.SetAttr(trace.A(trace.AttrDegraded, "true"))
 		c.cDegraded.Inc()
 	}
 	res.HTMLBytes = int64(len(doc))
+	html.SetAttr(trace.I(trace.AttrBytes, res.HTMLBytes))
+	html.End()
 
 	refs := htmlrefs.ParseRefs(doc)
 	chains := map[string][]htmlrefs.Ref{}
@@ -512,8 +640,15 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 			defer wg.Done()
 			cs := time.Now()
 			out := chainOut{host: host}
+			chainKind := "remote"
+			if host == pageHost {
+				chainKind = "local"
+			}
+			ch := root.StartChild(trace.SpanChain)
+			ch.SetAttr(trace.A(trace.AttrChain, chainKind), trace.A(trace.AttrSite, host))
+			defer ch.End()
 			for _, r := range chains[host] {
-				data, retries, fellBack, err := c.fetchMO(host+htmlrefs.MOPath(r.Object), r.Object)
+				data, retries, fellBack, err := c.fetchMO(host+htmlrefs.MOPath(r.Object), r.Object, ch)
 				out.retries += retries
 				if err != nil {
 					out.err = err
@@ -559,15 +694,20 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 }
 
 // FetchObject downloads one optional object as the document doc links it,
-// with the same retry/fallback protection as compulsory objects.
+// with the same retry/fallback protection as compulsory objects. The fetch
+// gets its own root trace — optional objects are user-initiated follow-ups,
+// not part of the page's Eq. 5 critical path.
 func (c *Client) FetchObject(doc []byte, r htmlrefs.Ref) ([]byte, error) {
-	data, _, _, err := c.fetchMO(string(doc[r.Start:r.End]), r.Object)
+	sp := c.tracer.StartTrace(trace.SpanOpt)
+	sp.SetAttr(trace.I(trace.AttrObject, int64(r.Object)))
+	data, _, _, err := c.fetchMO(string(doc[r.Start:r.End]), r.Object, sp)
+	sp.End()
 	return data, err
 }
 
 // GetDoc fetches a URL and returns the raw body — the served HTML as a
 // browser would receive it.
 func (c *Client) GetDoc(url string) ([]byte, error) {
-	data, _, err := c.getRetry(url, nil)
+	data, _, err := c.getRetry(url, nil, nil)
 	return data, err
 }

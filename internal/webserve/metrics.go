@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ClusterOptions controls the optional observability and chaos wiring of a
@@ -27,6 +28,17 @@ type ClusterOptions struct {
 	Faults *faults.Plan
 	// ShutdownTimeout bounds Close's graceful drain (default 5s).
 	ShutdownTimeout time.Duration
+	// Trace, when non-nil, arms end-to-end request tracing: every server
+	// emits a "serve" span for each request carrying an X-Repl-Trace header,
+	// parented under the client's span, into this buffer. Clients built via
+	// Cluster.Client share the buffer (and its ID stream) automatically.
+	Trace *trace.Buffer
+	// TraceSeed seeds the deterministic trace/span-ID stream.
+	TraceSeed uint64
+	// Journal, when non-nil, is the control-plane flight recorder, served at
+	// /debug/journal on every server (JSONL; ?format=text for readable
+	// lines).
+	Journal *trace.Journal
 }
 
 // setTelemetry hooks the repository's counters into the registry. A nil
@@ -54,17 +66,20 @@ func (s *LocalServer) setTelemetry(reg *telemetry.Registry) {
 	s.cWriteErrs = reg.Counter(prefix + "write_errors") //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
 }
 
-// wrapMux wraps a handler with the optional /metrics and /debug/pprof/
-// routes. With neither enabled the bare handler is returned — no mux on the
-// serving path.
-func wrapMux(h http.Handler, reg *telemetry.Registry, withPprof bool) http.Handler {
-	if reg == nil && !withPprof {
+// wrapMux wraps a handler with the optional /metrics, /debug/journal and
+// /debug/pprof/ routes. With none enabled the bare handler is returned — no
+// mux on the serving path.
+func wrapMux(h http.Handler, reg *telemetry.Registry, withPprof bool, journal *trace.Journal) http.Handler {
+	if reg == nil && !withPprof && journal == nil {
 		return h
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
 	if reg != nil {
 		mux.Handle("/metrics", telemetry.Handler(reg))
+	}
+	if journal != nil {
+		mux.Handle("/debug/journal", trace.JournalHandler(journal))
 	}
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

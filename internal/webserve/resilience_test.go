@@ -74,7 +74,7 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 	defer flaky.Close()
 
 	c := NewClientOptions(tinyWorkload(t), quickOpts())
-	data, retries, err := c.getRetry(flaky.URL+"/doc", nil)
+	data, retries, err := c.getRetry(flaky.URL+"/doc", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestClientDoesNotRetry404(t *testing.T) {
 	defer srv.Close()
 
 	c := NewClientOptions(tinyWorkload(t), quickOpts())
-	if _, _, err := c.getRetry(srv.URL+"/mo/0", nil); err == nil {
+	if _, _, err := c.getRetry(srv.URL+"/mo/0", nil, nil); err == nil {
 		t.Fatal("404 did not error")
 	}
 	if calls.Load() != 1 {
@@ -131,7 +131,7 @@ func TestFetchMOFallsBackToRepository(t *testing.T) {
 	c.Verify = true
 	k := w.Sites[0].Objects[0]
 	// A dead host: connection refused immediately, then repository fallback.
-	data, _, fellBack, err := c.fetchMO("http://127.0.0.1:1"+htmlrefs.MOPath(k), k)
+	data, _, fellBack, err := c.fetchMO("http://127.0.0.1:1"+htmlrefs.MOPath(k), k, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/htmlrefs"
 	"repro/internal/model"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -266,6 +267,14 @@ type Cluster struct {
 	// endpoint; nil unless ClusterOptions.Metrics was set.
 	Metrics *telemetry.Registry
 
+	// Tracer emits server-side spans into ClusterOptions.Trace; nil unless
+	// tracing was armed. Cluster.Client derives its client tracer from it so
+	// client and server spans share one ID stream and epoch.
+	Tracer *trace.Tracer
+	// Journal is the flight recorder served at /debug/journal; nil unless
+	// ClusterOptions.Journal was set.
+	Journal *trace.Journal
+
 	start           time.Time
 	shutdownTimeout time.Duration
 
@@ -301,14 +310,17 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 	}
 	if opts.Metrics {
 		c.Metrics = telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(c.Metrics)
 	}
+	c.Tracer = trace.NewTracer(opts.Trace, opts.TraceSeed, trace.KindServer)
+	c.Journal = opts.Journal
 	// The outage-window clock: elapsed time since the cluster (and with it
 	// the fault plan) was armed.
 	clock := func() time.Duration { return time.Since(c.start) }
 
 	repo := NewRepository(w)
 	repo.setTelemetry(c.Metrics)
-	repoHandler := c.buildHandler(repo, opts, opts.Faults.RepoInjector(), "faults.repo.", clock)
+	repoHandler := c.buildHandler(repo, opts, opts.Faults.RepoInjector(), "faults.repo.", "repo", clock)
 	repoBase, repoSrv, err := serve(repoHandler)
 	if err != nil {
 		return nil, err
@@ -325,7 +337,7 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 			return nil, err
 		}
 		ls.setTelemetry(c.Metrics)
-		h := c.buildHandler(ls, opts, opts.Faults.SiteInjector(i), fmt.Sprintf("faults.site.%d.", i), clock)
+		h := c.buildHandler(ls, opts, opts.Faults.SiteInjector(i), fmt.Sprintf("faults.site.%d.", i), strconv.Itoa(i), clock)
 		base, srv, err := serve(h)
 		if err != nil {
 			_ = c.Close()
@@ -342,16 +354,63 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 }
 
 // buildHandler assembles one server's handler chain, innermost first:
-// application → /healthz → fault injection → /metrics + pprof. Health
-// probes pass through the fault middleware (a dying site must look like
-// one), while the observability endpoints stay outside it — chaos is
-// precisely when /metrics must keep answering.
-func (c *Cluster) buildHandler(app http.Handler, opts ClusterOptions, inj *faults.Injector, prefix string, clock func() time.Duration) http.Handler {
+// application → /healthz → fault injection → trace → /metrics + pprof +
+// journal. Health probes pass through the fault middleware (a dying site
+// must look like one), while the observability endpoints stay outside it —
+// chaos is precisely when /metrics must keep answering. The trace
+// middleware wraps the fault layer so injected faults (errors, resets,
+// latency) are visible in the serve spans.
+func (c *Cluster) buildHandler(app http.Handler, opts ClusterOptions, inj *faults.Injector, prefix, siteName string, clock func() time.Duration) http.Handler {
 	h := withHealthz(app)
 	if inj != nil && !inj.Spec().Quiet() {
-		h = faults.Middleware(inj, clock, faults.MetricsFor(c.Metrics, prefix), h)
+		m := faults.MetricsFor(c.Metrics, prefix)
+		m.Journal, m.Site = c.Journal, siteName
+		h = faults.Middleware(inj, clock, m, h)
 	}
-	return wrapMux(h, c.Metrics, opts.Pprof)
+	h = traceMiddleware(c.Tracer, siteName, h)
+	return wrapMux(h, c.Metrics, opts.Pprof, c.Journal)
+}
+
+// traceMiddleware emits one "serve" span per request that carries the
+// X-Repl-Trace header, parented under the propagated client span.
+// Requests without the header (health probes, untraced clients) pass
+// through untouched. Fault-injected aborts (panic with ErrAbortHandler)
+// still end the span — marked reason=abort — before re-panicking.
+func traceMiddleware(tr *trace.Tracer, siteName string, h http.Handler) http.Handler {
+	if tr == nil {
+		return h
+	}
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		tid, sid, ok := trace.ParseHeader(req.Header.Get(trace.Header))
+		if !ok {
+			h.ServeHTTP(rw, req)
+			return
+		}
+		sp := tr.StartRemote(trace.SpanServe, tid, sid)
+		sp.SetAttr(trace.A(trace.AttrSite, siteName), trace.A("path", req.URL.Path))
+		sw := &statusCapture{ResponseWriter: rw, code: http.StatusOK}
+		defer func() {
+			if r := recover(); r != nil {
+				sp.SetAttr(trace.A(trace.AttrReason, "abort"))
+				sp.End()
+				panic(r)
+			}
+			sp.SetAttr(trace.I(trace.AttrStatus, int64(sw.code)))
+			sp.End()
+		}()
+		h.ServeHTTP(sw, req)
+	})
+}
+
+// statusCapture records the response status for the serve span.
+type statusCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusCapture) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
 }
 
 // withHealthz answers /healthz ahead of the application handler.
@@ -542,14 +601,19 @@ func (c *Cluster) PageURL(j workload.PageID) string {
 }
 
 // Client builds a resilient client wired to this cluster: repository
-// fallback enabled and, when the cluster has metrics, the client's
-// resilience counters registered in the same registry.
+// fallback enabled, resilience counters registered in the cluster's
+// registry when it has one, and — when tracing is armed — a client tracer
+// sharing the cluster's span buffer, ID stream and epoch, so client and
+// serve spans assemble into one tree.
 func (c *Cluster) Client(opts ClientOptions) *Client {
 	if opts.FallbackBase == "" {
 		opts.FallbackBase = c.RepoBase
 	}
 	if opts.Metrics == nil {
 		opts.Metrics = c.Metrics
+	}
+	if opts.Trace == nil {
+		opts.Trace = c.Tracer.WithKind(trace.KindClient)
 	}
 	return NewClientOptions(c.W, opts)
 }

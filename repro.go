@@ -40,6 +40,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -411,6 +412,61 @@ func ReplayTrace(w *Workload, tr *Trace, pol Policy) (*SimResult, error) {
 // LoadTrace reads a trace for the workload from a JSON file.
 func LoadTrace(w *Workload, path string) (*Trace, error) {
 	return httpsim.LoadTraceFile(w, path)
+}
+
+// Request tracing (internal/trace): deterministic span forests from the
+// simulator (SimConfig.Trace) and the live cluster, the control-plane event
+// journal, and the Eq. 5 critical-path analyzer behind cmd/repltrace.
+type (
+	// RequestSpan is one timed operation in a request's span tree.
+	RequestSpan = trace.Span
+	// SpanBuffer is a bounded concurrency-safe span sink; arm one via
+	// SimConfig.Trace (nil disables tracing for free).
+	SpanBuffer = trace.Buffer
+	// EventJournal is the bounded control-plane flight recorder.
+	EventJournal = trace.Journal
+	// JournalEvent is one structured flight-recorder entry.
+	JournalEvent = trace.Event
+	// JournalTypeCount is one event type's tally.
+	JournalTypeCount = trace.TypeCount
+	// TraceAnalysis is the per-page Eq. 5 critical-path breakdown of a
+	// recorded span forest.
+	TraceAnalysis = trace.Analysis
+)
+
+// CountJournalEvents tallies journal events by type, descending by count.
+func CountJournalEvents(events []JournalEvent) []JournalTypeCount {
+	return trace.CountEventTypes(events)
+}
+
+// NewSpanBuffer returns a span sink holding at most capacity spans
+// (0 = default).
+func NewSpanBuffer(capacity int) *SpanBuffer { return trace.NewBuffer(capacity) }
+
+// NewEventJournal returns a flight recorder holding the last capacity
+// events (0 = default).
+func NewEventJournal(capacity int) *EventJournal { return trace.NewJournal(capacity) }
+
+// AnalyzeSpans reduces a span forest to its Eq. 5 critical paths.
+func AnalyzeSpans(spans []RequestSpan) *TraceAnalysis { return trace.Analyze(spans) }
+
+// LoadSpans reads a JSONL span file (from replsim -spans or replserve -trace).
+func LoadSpans(path string) ([]RequestSpan, error) { return trace.LoadJSONL(path) }
+
+// SaveSpans writes spans as JSONL, the repo's canonical trace form.
+func SaveSpans(path string, spans []RequestSpan) error { return trace.SaveJSONL(path, spans) }
+
+// SaveChromeTrace writes spans as Chrome trace-event JSON (Perfetto-loadable).
+func SaveChromeTrace(path string, spans []RequestSpan) error { return trace.SaveChrome(path, spans) }
+
+// CriticalPathResult is the observed-vs-predicted-D study's output.
+type CriticalPathResult = experiments.CriticalPathResult
+
+// CriticalPathStudy simulates the proposed policy with tracing armed and
+// compares every page's observed Eq. 5 critical path against the planner's
+// prediction, flagging the pages the §5.1 deviations hurt most.
+func CriticalPathStudy(opts ExperimentOptions) (*CriticalPathResult, error) {
+	return experiments.CriticalPath(opts)
 }
 
 // LoadPlacement reads a placement for the workload from a JSON file.

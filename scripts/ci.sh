@@ -25,8 +25,8 @@ go vet ./...
 echo "== repllint (repo invariants) =="
 # The custom analyzer suite (internal/lint): determinism, rng-stream
 # labels, sorted iteration, float compares, telemetry naming, error
-# discipline. Any finding fails the build; see DESIGN.md §11 for the rules
-# and the //repllint:allow escape hatch.
+# discipline, span balance. Any finding fails the build; see DESIGN.md §11
+# for the rules and the //repllint:allow escape hatch.
 go run ./cmd/repllint ./...
 
 echo "== tests =="
@@ -85,5 +85,13 @@ fi
 
 echo "== metrics endpoint smoke =="
 go test -count=1 -run TestMetricsEndpoint ./internal/webserve/
+
+echo "== trace golden (span determinism pin) =="
+# A cold -count=1 re-run of the span-forest determinism pins, outside any
+# warm test cache: the same seed must yield a byte-identical httpsim span
+# export (TestTraceGolden), deterministic trace IDs, and stable JSONL and
+# Chrome trace-event encodings.
+go test -count=1 -run 'TestTraceGolden|TestIDGenDeterministicAndNonZero|TestJSONLRoundTripAndDeterminism|TestChromeExportValidAndDeterministic' \
+    ./internal/httpsim/ ./internal/trace/
 
 echo "CI OK"
