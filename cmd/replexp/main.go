@@ -8,7 +8,7 @@
 //
 //	replexp -exp table1|fig1|fig2|fig3|equiv|all
 //	        -exp ablation|drift|redirect|sensitivity|threshold
-//	        -exp queueing|period|weights|degraded|critpath|recovery
+//	        -exp queueing|period|weights|degraded|critpath|recovery|flashcrowd
 //	        [-scale paper|quick] [-runs N] [-seed N] [-requests N] [-csv DIR]
 //	        [-progress=false]
 //
@@ -166,11 +166,35 @@ var experiments = []experimentSpec{
 			return writeCSV(stdout, csvDir, "recovery", res.Timeline)
 		},
 	},
+	{
+		name: "flashcrowd",
+		run: func(opts repro.ExperimentOptions, stdout io.Writer, csvDir string, plot bool) error {
+			res, err := repro.FlashCrowd(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "== Flash crowd: online re-planning from live traffic ==")
+			if err := res.Write(stdout); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+			if err := res.Timeline.WriteTable(stdout); err != nil {
+				return err
+			}
+			if plot {
+				fmt.Fprintln(stdout)
+				if err := res.Timeline.WritePlot(stdout, 64, 16); err != nil {
+					return err
+				}
+			}
+			return writeCSV(stdout, csvDir, "flashcrowd", res.Timeline)
+		},
+	},
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights, degraded, critpath, recovery")
+	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights, degraded, critpath, recovery, flashcrowd")
 	scale := fs.String("scale", "paper", "paper (Table-1 volume, 20 runs) or quick")
 	runs := fs.Int("runs", 0, "override the number of runs")
 	seed := fs.Uint64("seed", 0, "override the experiment seed")

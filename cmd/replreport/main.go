@@ -129,6 +129,26 @@ var sections = []section{
 			return err
 		},
 	},
+	{
+		name:      "flashcrowd",
+		extension: true,
+		write: func(opts repro.ExperimentOptions, w io.Writer) error {
+			res, err := repro.FlashCrowd(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "### Flash crowd: online re-planning from live traffic\n\n```\n"); err != nil {
+				return err
+			}
+			if err := res.Write(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "```\n\n"); err != nil {
+				return err
+			}
+			return res.Timeline.WriteMarkdown(w)
+		},
+	},
 }
 
 // observabilitySection renders the recorded-trace and journal appendix.

@@ -4,8 +4,11 @@
 // rewritten on the fly per the plan. With -fetch it also drives a client
 // over the pages (parallel local/repository chains, like the paper's
 // browser model) and reports the observed split and timings; with -adapt it
-// then closes the Section-4.1 loop once — estimate frequencies from the
-// access log, re-plan, apply live.
+// closes the Section-4.1 loop — a streaming estimator taps the live access
+// path, a drift detector compares the estimate against the frequencies the
+// plan was built from, and when the drift is actionable the planner re-runs
+// and ships only the placement delta (one cycle after -fetch; a continuous
+// loop with -serve).
 //
 // With -chaos LEVEL a deterministic fault plan (seeded from -seed) injects
 // errors, resets, truncations, latency and outage windows into the site
@@ -45,10 +48,9 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/accesslog"
 	"repro/internal/controller"
+	"repro/internal/estimate"
 	"repro/internal/faults"
-	"repro/internal/model"
 	"repro/internal/webserve"
 )
 
@@ -57,7 +59,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 2026, "workload/estimate seed")
 	storage := fs.Float64("storage", 0.5, "storage budget fraction")
 	fetch := fs.Int("fetch", 20, "pages to fetch with the built-in client (0 = none)")
-	adapt := fs.Bool("adapt", false, "after fetching, estimate frequencies and re-plan live")
+	adapt := fs.Bool("adapt", false, "run the online re-planning loop: estimate frequencies from live traffic, drift-gate a re-plan, ship only the delta (continuous with -serve)")
 	metrics := fs.Bool("metrics", false, "serve a /metrics JSON snapshot and /debug/pprof/ on every server")
 	serve := fs.Bool("serve", false, "keep serving until interrupted instead of exiting")
 	chaos := fs.Float64("chaos", 0, "fault-injection level in [0,1]; 0 = healthy cluster")
@@ -113,17 +115,29 @@ func run(args []string, stdout io.Writer) error {
 	if *journalOn {
 		journal = repro.NewEventJournal(0)
 	}
-	cluster, err := webserve.StartClusterOptions(w, placement, webserve.ClusterOptions{
+	copts := webserve.ClusterOptions{
 		Metrics:   *metrics,
 		Pprof:     *metrics,
 		Faults:    plan,
 		Trace:     spanBuf,
 		TraceSeed: *seed,
 		Journal:   journal,
-	})
+	}
+	var freqEst *estimate.Estimator
+	if *adapt {
+		// A long half-life: one-shot demos observe seconds of traffic and
+		// must not decay it away before the drift check.
+		freqEst, err = estimate.New(w, estimate.Config{HalfLife: 3600})
+		if err != nil {
+			return err
+		}
+		copts.AccessTap = freqEst
+	}
+	cluster, err := webserve.StartClusterOptions(w, placement, copts)
 	if err != nil {
 		return err
 	}
+	clusterStart := time.Now()
 	defer cluster.Close()
 	if spanBuf != nil {
 		defer func() {
@@ -180,6 +194,20 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "self-healing: supervisor probing every site's /healthz (down after 3 missed probes, repair applied live)")
 	}
 
+	var adapter *controller.Adapter
+	if *adapt {
+		adapter, err = controller.NewAdapter(env, placement, cluster, freqEst, controller.AdaptOptions{
+			Interval: 5 * time.Second,
+			Metrics:  cluster.Metrics,
+			Log:      stdout,
+			Journal:  journal,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "adaptive: streaming estimator tapping the access path; drift-gated re-planning armed")
+	}
+
 	if *fetch > 0 {
 		client := cluster.Client(webserve.ClientOptions{JitterSeed: *seed})
 		client.Verify = true
@@ -217,36 +245,34 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	if *adapt {
-		fmt.Fprintln(stdout, "\nadaptive cycle: estimating frequencies from the access logs …")
-		counts := make(accesslog.Counts)
-		for _, s := range cluster.Sites {
-			counts.Merge(s.AccessCounts())
-		}
-		observed, err := accesslog.EstimateWorkload(w, counts)
+	if adapter != nil && *fetch > 0 {
+		fmt.Fprintln(stdout, "\nadaptive cycle: drift check on the streamed estimate …")
+		cyc, err := adapter.CheckNow(time.Since(clusterStart).Seconds())
 		if err != nil {
 			return err
 		}
-		envNew, err := model.NewEnv(observed, est, budgets)
-		if err != nil {
-			return err
-		}
-		fresh, freshResult, err := repro.Plan(envNew, repro.PlanOptions{})
-		if err != nil {
-			return err
-		}
-		for _, s := range cluster.Sites {
-			if err := s.ApplyPlacement(fresh); err != nil {
-				return err
-			}
-		}
-		fmt.Fprintf(stdout, "re-planned on observed traffic (D=%.1f) and applied live\n", freshResult.D)
-		for _, pid := range counts.TopPages(3) {
-			fmt.Fprintf(stdout, "  hottest observed: page %d (%d requests)\n", pid, counts[pid])
+		switch {
+		case cyc.Replanned:
+			fmt.Fprintf(stdout, "re-planned on observed traffic (D %.1f -> %.1f) and shipped the delta live (%v in %d copy sets)\n",
+				cyc.Delta.DBefore, cyc.Delta.DAfter, cyc.Delta.CopyBytes, len(cyc.Delta.Copies))
+		case cyc.Noop:
+			fmt.Fprintln(stdout, "drift triggered but re-planning left the placement unchanged — nothing shipped")
+		default:
+			fmt.Fprintf(stdout, "no actionable drift (L1=%.3f) — plan stands\n", cyc.Decision.L1)
 		}
 	}
 
 	if *serve {
+		if adapter != nil {
+			adapter.Start()
+			defer func() {
+				adapter.Stop()
+				checks, triggers, replans, noops := adapter.Counts()
+				fmt.Fprintf(stdout, "adaptive: %d checks, %d triggers, %d re-plans, %d no-ops, %v shipped\n",
+					checks, triggers, replans, noops, adapter.CopyBytes())
+			}()
+			fmt.Fprintln(stdout, "adaptive: continuous drift checks every 5s")
+		}
 		// Block until SIGINT/SIGTERM so the deferred cluster.Close() (and
 		// any other cleanup) actually runs on shutdown.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

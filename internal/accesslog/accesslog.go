@@ -15,6 +15,16 @@ import (
 	"repro/internal/workload"
 )
 
+// Tap receives one callback per served page view, the hook the streaming
+// estimator (internal/estimate) plugs into both the live server path
+// (webserve.ClusterOptions.AccessTap, cluster-uptime seconds) and the
+// simulator (httpsim.Config.AccessTap, virtual-clock seconds).
+// Implementations must be safe for concurrent use: the live path calls
+// Observe from every serving goroutine.
+type Tap interface {
+	Observe(site workload.SiteID, page workload.PageID, t float64)
+}
+
 // Counts maps pages to observed request counts over some window.
 type Counts map[workload.PageID]int64
 

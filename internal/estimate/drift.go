@@ -1,0 +1,159 @@
+package estimate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DetectorConfig tunes the drift detector. Zero values take the defaults
+// noted on each field.
+type DetectorConfig struct {
+	// TriggerL1 is the L1 distance between the estimated and baseline
+	// frequency vectors (both normalized, so the distance lives in [0, 2])
+	// at or above which re-planning triggers. Default 0.35.
+	TriggerL1 float64
+	// ClearL1 is the hysteresis floor: after a trigger the detector stays
+	// quiet until the distance drops below ClearL1 (i.e. the plan has been
+	// rebuilt, or the burst faded on its own) and only then re-arms.
+	// Default TriggerL1 / 2.
+	ClearL1 float64
+	// TopK is how many top pages the churn signal compares. Default 10,
+	// clamped to the vector length.
+	TopK int
+	// TriggerTopK is the fraction of the current top-K absent from the
+	// baseline top-K at or above which re-planning triggers even when the
+	// bulk L1 mass hasn't moved — the "breaking news" signature where a
+	// handful of pages swap into the hot set. Default 0.5.
+	TriggerTopK float64
+}
+
+func (c DetectorConfig) normalize() DetectorConfig {
+	if c.TriggerL1 <= 0 {
+		c.TriggerL1 = 0.35
+	}
+	if c.ClearL1 <= 0 {
+		c.ClearL1 = c.TriggerL1 / 2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.TriggerTopK <= 0 {
+		c.TriggerTopK = 0.5
+	}
+	return c
+}
+
+// Decision is one drift check's outcome.
+type Decision struct {
+	// L1 is the distance between the current and baseline vectors.
+	L1 float64
+	// TopKChurn is the fraction of the current top-K pages that are not in
+	// the baseline top-K.
+	TopKChurn float64
+	// Exceeded reports whether either signal is past its trigger level.
+	Exceeded bool
+	// Trigger reports whether this check should start a re-plan: Exceeded
+	// while the detector is armed. Hysteresis clears it on the checks that
+	// follow a trigger until the distance falls below ClearL1 or the
+	// caller Rebases onto a new plan.
+	Trigger bool
+}
+
+// Detector compares the estimator's frequency vector against the vector
+// the current plan was built from and decides when the divergence is worth
+// a re-plan. Hysteresis keeps one sustained burst from triggering a
+// re-plan storm: after a trigger the detector disarms until the signal
+// clears or the baseline is rebased. Not safe for concurrent use; the
+// adapt controller serializes checks.
+type Detector struct {
+	cfg      DetectorConfig
+	baseline []float64
+	baseTop  map[int]bool
+	armed    bool
+}
+
+// NewDetector builds a detector armed against the given baseline vector
+// (normally estimate.BaselineVector of the workload the plan came from).
+func NewDetector(baseline []float64, cfg DetectorConfig) (*Detector, error) {
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("estimate: empty detector baseline")
+	}
+	d := &Detector{cfg: cfg.normalize(), armed: true}
+	d.Rebase(baseline)
+	return d, nil
+}
+
+// Rebase replaces the baseline (after a re-plan has shipped) and re-arms.
+func (d *Detector) Rebase(baseline []float64) {
+	d.baseline = append([]float64(nil), baseline...)
+	d.baseTop = topSet(baseline, d.cfg.TopK)
+	d.armed = true
+}
+
+// Check measures current against the baseline. The vectors must have the
+// same length and the same normalization (FreqVector/BaselineVector).
+func (d *Detector) Check(current []float64) (Decision, error) {
+	if len(current) != len(d.baseline) {
+		return Decision{}, fmt.Errorf("estimate: detector got %d-page vector, baseline has %d", len(current), len(d.baseline))
+	}
+	var dec Decision
+	for i, c := range current {
+		diff := c - d.baseline[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		dec.L1 += diff
+	}
+	curTop := topIndices(current, d.cfg.TopK)
+	if len(curTop) > 0 {
+		moved := 0
+		for _, idx := range curTop {
+			if !d.baseTop[idx] {
+				moved++
+			}
+		}
+		dec.TopKChurn = float64(moved) / float64(len(curTop))
+	}
+	dec.Exceeded = dec.L1 >= d.cfg.TriggerL1 || dec.TopKChurn >= d.cfg.TriggerTopK
+	dec.Trigger = dec.Exceeded && d.armed
+	if dec.Trigger {
+		d.armed = false
+	} else if !d.armed && dec.L1 < d.cfg.ClearL1 && dec.TopKChurn < d.cfg.TriggerTopK {
+		d.armed = true
+	}
+	return dec, nil
+}
+
+// Armed reports whether the next exceeded check would trigger.
+func (d *Detector) Armed() bool { return d.armed }
+
+// topIndices returns the indices of the k largest entries of v (ties by
+// lower index), at most len(v) of them, skipping zero entries.
+func topIndices(v []float64, k int) []int {
+	idx := make([]int, 0, len(v))
+	for i, x := range v {
+		if x > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		xa, xb := v[idx[a]], v[idx[b]]
+		if xa != xb { //repllint:allow float-compare — exact-bits tie-break keeps the comparator a strict weak order
+			return xa > xb
+		}
+		return idx[a] < idx[b]
+	})
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// topSet is topIndices as a membership set.
+func topSet(v []float64, k int) map[int]bool {
+	out := make(map[int]bool, k)
+	for _, i := range topIndices(v, k) {
+		out[i] = true
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package httpsim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/policies"
+	"repro/internal/rng"
+)
+
+// TestAccessTapDeterministic pins the simulator half of the estimator
+// determinism property: the same seed and the same config must drive the
+// tap to a byte-identical estimator snapshot, even though sites observe
+// concurrently (the estimator shards per site, and within a site the
+// simulator is sequential).
+func TestAccessTapDeterministic(t *testing.T) {
+	w, netEst := simEnv(t, 44)
+	var encs [][]byte
+	for rep := 0; rep < 2; rep++ {
+		est, err := estimate.New(w, estimate.Config{HalfLife: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(w)
+		cfg.RequestsPerSite = 500
+		cfg.AccessTap = est
+		if _, err := Run(w, netEst, policies.NewLocal(w), cfg, rng.New(3)); err != nil {
+			t.Fatal(err)
+		}
+		enc, err := est.Snapshot(1e6).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, enc)
+	}
+	if !bytes.Equal(encs[0], encs[1]) {
+		t.Fatal("same seed + same sim config produced different estimator snapshots")
+	}
+}
+
+// TestAccessTapDoesNotPerturbSim verifies arming the tap cannot shift the
+// simulated sequences: results with and without the tap are identical.
+func TestAccessTapDoesNotPerturbSim(t *testing.T) {
+	w, netEst := simEnv(t, 45)
+	run := func(withTap bool) *Result {
+		cfg := DefaultConfig(w)
+		cfg.RequestsPerSite = 300
+		if withTap {
+			est, err := estimate.New(w, estimate.Config{HalfLife: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.AccessTap = est
+		}
+		res, err := Run(w, netEst, policies.NewLocal(w), cfg, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, tapped := run(false), run(true)
+	if plain.PageRT.N() != tapped.PageRT.N() || math.Abs(plain.PageRT.Mean()-tapped.PageRT.Mean()) > 0 {
+		t.Fatalf("tap perturbed the simulation: mean %.9f vs %.9f", plain.PageRT.Mean(), tapped.PageRT.Mean())
+	}
+}
+
+// TestAccessTapCountsViews: the tap sees exactly RequestsPerSite views per
+// site on the measured pass and nothing from warmup.
+func TestAccessTapCountsViews(t *testing.T) {
+	w, netEst := simEnv(t, 46)
+	est, err := estimate.New(w, estimate.Config{HalfLife: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(w)
+	cfg.RequestsPerSite = 250
+	cfg.Warmup = true // warmup pass must not be observed
+	cfg.AccessTap = est
+	if _, err := Run(w, netEst, policies.NewLocal(w), cfg, rng.New(12)); err != nil {
+		t.Fatal(err)
+	}
+	snap := est.Snapshot(1e6)
+	for _, se := range snap.Sites {
+		var total float64
+		for _, pw := range se.Pages {
+			total += pw.Weight
+		}
+		if got := int64(total + 0.5); got != 250 {
+			t.Errorf("site %d: tap observed %d views, want 250", se.Site, got)
+		}
+	}
+}

@@ -80,6 +80,7 @@ var DeterministicPackages = map[string]bool{
 	"workload":    true,
 	"policies":    true,
 	"experiments": true,
+	"estimate":    true,
 }
 
 // Analyzers is the full suite in reporting order.

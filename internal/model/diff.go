@@ -83,6 +83,18 @@ func Diff(a, b *Placement) (*DiffReport, error) {
 	return rep, nil
 }
 
+// Changed reports whether the diff moves anything at all: any replica
+// additions or removals, or any flipped download marks. An unchanged
+// placement costs zero bytes and zero churn to "apply".
+func (r *DiffReport) Changed() bool {
+	for _, d := range r.Sites {
+		if d.AddedObjects != 0 || d.RemovedObjects != 0 || d.FlippedLocal != 0 || d.FlippedRemote != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // TotalAddedBytes returns the data the repository must push to the sites.
 func (r *DiffReport) TotalAddedBytes() units.ByteSize {
 	var t units.ByteSize

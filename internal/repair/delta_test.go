@@ -1,0 +1,96 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func deltaEnv(t *testing.T, w *workload.Workload, storageFrac float64) *model.Env {
+	t.Helper()
+	est, err := netsim.DrawEstimates(netsim.DefaultConfig(), w.NumSites(), rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := model.NewEnv(w, est, model.FullBudgets(w).Scale(w, storageFrac, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestChangeDeltaIdenticalPlacementsShipNothing(t *testing.T) {
+	w := workload.MustGenerate(workload.SmallConfig(), 52)
+	env := deltaEnv(t, w, 0.4)
+	p, _, err := core.Plan(env, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ChangeDelta(env, env, p, p)
+	if d.CopyBytes != 0 || len(d.Copies) != 0 {
+		t.Fatalf("identical placements shipped %v in %d copies", d.CopyBytes, len(d.Copies))
+	}
+	if d.DBefore != d.DAfter {
+		t.Fatalf("identical placements changed D: %.6f -> %.6f", d.DBefore, d.DAfter)
+	}
+	if !d.Feasible {
+		t.Fatal("planned placement reported infeasible")
+	}
+}
+
+func TestChangeDeltaUnderDrift(t *testing.T) {
+	w := workload.MustGenerate(workload.SmallConfig(), 52)
+	env := deltaEnv(t, w, 0.4)
+	stale, _, err := core.Plan(env, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drifted demand: rotate hot sets, re-plan, and summarize the switch.
+	w2, err := workload.Drift(w, 0.6, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2, err := model.NewEnv(w2, env.Est, env.Budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2.Alpha1, env2.Alpha2 = env.Alpha1, env.Alpha2
+	fresh, _, err := core.Plan(env2, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ChangeDelta(env, env2, stale, fresh)
+
+	// The fresh plan must beat the stale one under the drifted demand, and
+	// the bill must account exactly for the copy sets it lists.
+	if d.DAfter > d.DBefore {
+		t.Errorf("re-plan made D worse under drift: %.4f -> %.4f", d.DBefore, d.DAfter)
+	}
+	var sum int64
+	for _, c := range d.Copies {
+		if len(c.Objects) == 0 {
+			t.Fatalf("site %d has an empty copy set", c.Site)
+		}
+		for _, k := range c.Objects {
+			if stale.IsStored(c.Site, k) {
+				t.Fatalf("site %d asked to copy object %d it already stores", c.Site, k)
+			}
+			if !fresh.IsStored(c.Site, k) {
+				t.Fatalf("site %d asked to copy object %d the fresh plan does not store", c.Site, k)
+			}
+			sum += int64(w.ObjectSize(k))
+		}
+	}
+	if sum != int64(d.CopyBytes) {
+		t.Fatalf("CopyBytes %d != sum of copy sets %d", d.CopyBytes, sum)
+	}
+	// DHealthy is the stale plan under its own estimates.
+	if d.DHealthy <= 0 {
+		t.Fatalf("DHealthy = %v", d.DHealthy)
+	}
+}

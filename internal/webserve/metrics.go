@@ -6,6 +6,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"repro/internal/accesslog"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -39,6 +40,11 @@ type ClusterOptions struct {
 	// /debug/journal on every server (JSONL; ?format=text for readable
 	// lines).
 	Journal *trace.Journal
+	// AccessTap, when non-nil, receives one Observe per served page view
+	// (site, page, cluster-uptime seconds) from every site's serving path —
+	// the feed the adaptive planner's frequency estimator runs on. Must be
+	// safe for concurrent use.
+	AccessTap accesslog.Tap
 }
 
 // setTelemetry hooks the repository's counters into the registry. A nil

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/accesslog"
 	"repro/internal/faults"
 	"repro/internal/htmlrefs"
 	"repro/internal/model"
@@ -118,6 +119,11 @@ type LocalServer struct {
 
 	// Telemetry counters; nil (no-op) unless the cluster enables metrics.
 	cPages, cMOs, cBytes, cMisses, cWriteErrs *telemetry.Counter
+
+	// Access-log tap; nil unless ClusterOptions.AccessTap was set. tapClock
+	// reports cluster uptime in seconds for the tap's timestamps.
+	tap      accesslog.Tap
+	tapClock func() float64
 }
 
 // NewLocalServer builds the site's handler from a placement. repoBase is
@@ -199,6 +205,16 @@ func (s *LocalServer) countPage(j workload.PageID) {
 	s.pageCount.Add(1)
 	v, _ := s.pageHits.LoadOrStore(j, new(atomic.Int64))
 	v.(*atomic.Int64).Add(1)
+	if s.tap != nil {
+		s.tap.Observe(s.site, j, s.tapClock())
+	}
+}
+
+// setTap arms the access-log tap. Must be called before serving (countPage
+// reads the fields lock-free).
+func (s *LocalServer) setTap(tap accesslog.Tap, clock func() float64) {
+	s.tap = tap
+	s.tapClock = clock
 }
 
 // ServeHTTP implements http.Handler.
@@ -337,6 +353,9 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 			return nil, err
 		}
 		ls.setTelemetry(c.Metrics)
+		if opts.AccessTap != nil {
+			ls.setTap(opts.AccessTap, func() float64 { return time.Since(c.start).Seconds() })
+		}
 		h := c.buildHandler(ls, opts, opts.Faults.SiteInjector(i), fmt.Sprintf("faults.site.%d.", i), strconv.Itoa(i), clock)
 		base, srv, err := serve(h)
 		if err != nil {

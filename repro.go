@@ -335,6 +335,26 @@ func Recovery(opts ExperimentOptions) (*RecoveryResult, error) {
 	return experiments.Recovery(opts)
 }
 
+// Flash-crowd study: the adaptive planning loop under hot-page rotation
+// (§4.1's "breaking news" drift) — static plan vs detector-gated online
+// re-planning vs a clairvoyant oracle.
+type (
+	// FlashCrowdResult is the flash-crowd study's output.
+	FlashCrowdResult = experiments.FlashCrowdResult
+	// FlashCrowdRun is one run's full episode.
+	FlashCrowdRun = experiments.FlashCrowdRun
+	// FlashCrowdEpoch is one epoch's accounting within a run.
+	FlashCrowdEpoch = experiments.FlashCrowdEpoch
+)
+
+// FlashCrowd plays cumulative hot-page rotation against the streaming
+// estimator and drift detector, re-planning online from estimated traffic
+// and shipping only placement deltas, and reports how closely the online
+// planner tracks the oracle while the static plan degrades.
+func FlashCrowd(opts ExperimentOptions) (*FlashCrowdResult, error) {
+	return experiments.FlashCrowd(opts)
+}
+
 // Repair planning: deterministic re-replication plans for a down-set
 // (internal/repair), the machinery behind the self-healing supervisor.
 type (

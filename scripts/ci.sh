@@ -1,97 +1,141 @@
 #!/bin/sh
-# ci.sh — the full verification pipeline. Everything here must pass before
-# a change lands: formatting, build, vet, the complete test suite, the race
-# detector on the concurrent packages, coverage on the planner core, and a
-# single pinned-GOMAXPROCS pass of every benchmark followed by a regression
-# diff against the previous snapshot.
+# ci.sh — the full verification pipeline, tiered into named stages.
+# Everything here must pass before a change lands: formatting, build + vet +
+# the repllint analyzer suite, the complete test suite, the race detector on
+# every package, the chaos / self-healing / adaptive-loop passes under
+# -race, coverage on the planner core, and a single pinned-GOMAXPROCS pass
+# of every benchmark followed by a regression diff against the previous
+# snapshot.
+#
+# CI_STAGES selects a subset, e.g.:
+#
+#	CI_STAGES="fmt lint test" scripts/ci.sh
+#
+# Stages: fmt lint test race chaos heal adapt cover bench. The default runs
+# them all, in order, and prints a wall-clock summary at the end (the
+# PR-gate workflow runs each stage as its own named step instead).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt (simplify) =="
-unformatted=$(gofmt -s -l .)
-if [ -n "$unformatted" ]; then
-    echo "unformatted files (gofmt -s):" >&2
-    echo "$unformatted" >&2
-    exit 1
-fi
+CI_STAGES="${CI_STAGES:-fmt lint test race chaos heal adapt cover bench}"
 
-echo "== build =="
-go build ./...
+# gofmt with -s: any unformatted file fails the stage.
+stage_fmt() {
+    unformatted=$(gofmt -s -l .)
+    if [ -n "$unformatted" ]; then
+        echo "unformatted files (gofmt -s):" >&2
+        echo "$unformatted" >&2
+        return 1
+    fi
+}
 
-echo "== vet =="
-go vet ./...
+# Build, vet, and the custom analyzer suite (internal/lint): determinism,
+# rng-stream labels, sorted iteration, float compares, telemetry naming,
+# error discipline, span balance. Any finding fails the build; see
+# DESIGN.md §11 for the rules and the //repllint:allow escape hatch.
+stage_lint() {
+    go build ./...
+    go vet ./...
+    go run ./cmd/repllint ./...
+}
 
-echo "== repllint (repo invariants) =="
-# The custom analyzer suite (internal/lint): determinism, rng-stream
-# labels, sorted iteration, float compares, telemetry naming, error
-# discipline, span balance. Any finding fails the build; see DESIGN.md §11
-# for the rules and the //repllint:allow escape hatch.
-go run ./cmd/repllint ./...
+# The complete test suite, plus two cold -count=1 pins outside any warm
+# test cache: the metrics endpoint smoke test and the span-forest
+# determinism goldens (same seed ⇒ byte-identical httpsim span export,
+# deterministic trace IDs, stable JSONL and Chrome encodings).
+stage_test() {
+    go test ./...
+    go test -count=1 -run TestMetricsEndpoint ./internal/webserve/
+    go test -count=1 -run 'TestTraceGolden|TestIDGenDeterministicAndNonZero|TestJSONLRoundTripAndDeterminism|TestChromeExportValidAndDeterministic' \
+        ./internal/httpsim/ ./internal/trace/
+}
 
-echo "== tests =="
-go test ./...
+# Module-wide race detector, not a hand-picked list, so a new concurrent
+# package can never silently skip it.
+stage_race() {
+    go test -race ./...
+}
 
-echo "== race (all packages) =="
-# Module-wide, not a hand-picked list, so a new concurrent package can
-# never silently skip the race detector.
-go test -race ./...
-
-echo "== chaos / degraded-mode (race) =="
 # The robustness surface end to end under the race detector: fault-plan
 # determinism, injector middleware, client retry + repository fallback, the
 # full-outage acceptance path, cluster kill/restart, and the simulator's
 # degraded mode.
-go test -race -count=1 -run 'Fault|Generate|Injector|Middleware|Retr|Fall|Backoff|Timeout|Outage|Chaos|Degraded|KillAndRestart|GracefulShutdown|Healthz|WriteError' \
-    ./internal/faults/ ./internal/webserve/ ./internal/httpsim/ ./internal/experiments/
+stage_chaos() {
+    go test -race -count=1 -run 'Fault|Generate|Injector|Middleware|Retr|Fall|Backoff|Timeout|Outage|Chaos|Degraded|KillAndRestart|GracefulShutdown|Healthz|WriteError' \
+        ./internal/faults/ ./internal/webserve/ ./internal/httpsim/ ./internal/experiments/
+}
 
-echo "== self-healing (race) =="
-# The control plane end to end under the race detector: repair-plan
-# determinism at several worker counts, the supervisor state machine, the
-# heal-under-kill acceptance path, the circuit breaker, and the jitter
-# stream isolation.
-go test -race -count=1 ./internal/repair/ ./internal/controller/
-go test -race -count=1 -run 'Breaker|Jitter|KillSiteRaces|Recovery' \
-    ./internal/webserve/ ./internal/experiments/
+# The self-healing control plane end to end under the race detector:
+# repair-plan determinism at several worker counts, the supervisor state
+# machine, the heal-under-kill acceptance path, the circuit breaker, and
+# the jitter stream isolation.
+stage_heal() {
+    go test -race -count=1 ./internal/repair/ ./internal/controller/
+    go test -race -count=1 -run 'Breaker|Jitter|KillSiteRaces|Recovery' \
+        ./internal/webserve/ ./internal/experiments/
+}
 
-echo "== coverage (internal/core floor ${CI_CORE_COVER_FLOOR:=90}%) =="
-cover_out=$(mktemp)
-trap 'rm -f "$cover_out"' EXIT
-go test -count=1 -coverprofile="$cover_out" ./internal/core/
-core_cover=$(go tool cover -func="$cover_out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
-echo "internal/core statement coverage: ${core_cover}%"
-if awk -v c="$core_cover" -v floor="$CI_CORE_COVER_FLOOR" 'BEGIN { exit !(c < floor) }'; then
-    echo "internal/core coverage ${core_cover}% is below the ${CI_CORE_COVER_FLOOR}% floor" >&2
-    exit 1
-fi
+# The adaptive planning loop under the race detector: the streaming
+# estimator (concurrent tap ingestion, snapshot determinism, the count-min
+# sketch), the drift detector's hysteresis, the access-log taps on the live
+# server and the simulator, the adapter's delta-only shipping, and the
+# flash-crowd study's tracking + bit-reproducibility pins.
+stage_adapt() {
+    go test -race -count=1 ./internal/estimate/
+    go test -race -count=1 -run 'Adapt|AccessTap|ChangeDelta|FlashCrowd' \
+        ./internal/controller/ ./internal/webserve/ ./internal/httpsim/ \
+        ./internal/repair/ ./internal/experiments/
+}
 
-echo "== benchmarks (GOMAXPROCS pinned) =="
-# Pin GOMAXPROCS so ns/op numbers are comparable across runners of different
-# widths, and -count=1 so a warm test cache can never skip the pass. The
-# results land in a fresh BENCH_<stamp>.json for the diff below. Local runs
-# take one pass; the CI workflow sets CI_BENCHTIME=3x to average the noise
-# down before the fatal gate.
-GOMAXPROCS=4 scripts/bench.sh . "${CI_BENCHTIME:-1x}"
+# Planner-core statement coverage against a floor.
+stage_cover() {
+    : "${CI_CORE_COVER_FLOOR:=90}"
+    echo "(internal/core floor ${CI_CORE_COVER_FLOOR}%)"
+    cover_out=$(mktemp)
+    go test -count=1 -coverprofile="$cover_out" ./internal/core/
+    core_cover=$(go tool cover -func="$cover_out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    rm -f "$cover_out"
+    echo "internal/core statement coverage: ${core_cover}%"
+    if awk -v c="$core_cover" -v floor="$CI_CORE_COVER_FLOOR" 'BEGIN { exit !(c < floor) }'; then
+        echo "internal/core coverage ${core_cover}% is below the ${CI_CORE_COVER_FLOOR}% floor" >&2
+        return 1
+    fi
+}
 
-echo "== benchdiff (planner regression gate) =="
-# A single -benchtime=1x pass is too noisy to block local work on, so the
-# diff only warns here; the CI workflow exports CI_BENCHDIFF_FATAL=1 to make
-# a >15 % ns/op regression on the planner benchmarks fail the build.
-if [ "${CI_BENCHDIFF_FATAL:-0}" = "1" ]; then
-    scripts/benchdiff.sh
-else
-    scripts/benchdiff.sh || echo "benchdiff: regression reported (non-fatal locally; CI_BENCHDIFF_FATAL=1 enforces)"
-fi
+# Every benchmark once, GOMAXPROCS pinned so ns/op numbers are comparable
+# across runners of different widths and -count=1 so a warm test cache can
+# never skip the pass; then the regression diff against the previous
+# BENCH_<stamp>.json snapshot. A single -benchtime=1x pass is too noisy to
+# block local work on, so the diff only warns here; the CI workflow exports
+# CI_BENCHDIFF_FATAL=1 (and CI_BENCHTIME=3x to average the noise down) to
+# make a >15 % ns/op regression fail the build.
+stage_bench() {
+    GOMAXPROCS=4 scripts/bench.sh . "${CI_BENCHTIME:-1x}"
+    if [ "${CI_BENCHDIFF_FATAL:-0}" = "1" ]; then
+        scripts/benchdiff.sh
+    else
+        scripts/benchdiff.sh || echo "benchdiff: regression reported (non-fatal locally; CI_BENCHDIFF_FATAL=1 enforces)"
+    fi
+}
 
-echo "== metrics endpoint smoke =="
-go test -count=1 -run TestMetricsEndpoint ./internal/webserve/
+summary=""
+for stage in $CI_STAGES; do
+    case "$stage" in
+    fmt | lint | test | race | chaos | heal | adapt | cover | bench) ;;
+    *)
+        echo "ci.sh: unknown stage \"$stage\" (stages: fmt lint test race chaos heal adapt cover bench)" >&2
+        exit 2
+        ;;
+    esac
+    echo "== $stage =="
+    stage_start=$(date +%s)
+    "stage_$stage"
+    stage_secs=$(($(date +%s) - stage_start))
+    summary="$summary$(printf '  %-6s %4ss' "$stage" "$stage_secs")
+"
+done
 
-echo "== trace golden (span determinism pin) =="
-# A cold -count=1 re-run of the span-forest determinism pins, outside any
-# warm test cache: the same seed must yield a byte-identical httpsim span
-# export (TestTraceGolden), deterministic trace IDs, and stable JSONL and
-# Chrome trace-event encodings.
-go test -count=1 -run 'TestTraceGolden|TestIDGenDeterministicAndNonZero|TestJSONLRoundTripAndDeterminism|TestChromeExportValidAndDeterministic' \
-    ./internal/httpsim/ ./internal/trace/
-
-echo "CI OK"
+echo "== stage timings =="
+printf '%s' "$summary"
+echo "CI OK ($CI_STAGES)"
