@@ -8,7 +8,7 @@
 //
 //	replexp -exp table1|fig1|fig2|fig3|equiv|all
 //	        -exp ablation|drift|redirect|sensitivity|threshold
-//	        -exp queueing|period|weights|degraded|critpath|recovery|flashcrowd
+//	        -exp queueing|period|weights|degraded|critpath|recovery|flashcrowd|scrub
 //	        [-scale paper|quick] [-runs N] [-seed N] [-requests N] [-csv DIR]
 //	        [-progress=false]
 //
@@ -190,11 +190,22 @@ var experiments = []experimentSpec{
 			return writeCSV(stdout, csvDir, "flashcrowd", res.Timeline)
 		},
 	},
+	{
+		name: "scrub",
+		run: func(opts repro.ExperimentOptions, stdout io.Writer, csvDir string, plot bool) error {
+			res, err := repro.Scrub(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "== Scrub: end-to-end integrity under gray failure ==")
+			return res.Write(stdout)
+		},
+	},
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights, degraded, critpath, recovery, flashcrowd")
+	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights, degraded, critpath, recovery, flashcrowd, scrub")
 	scale := fs.String("scale", "paper", "paper (Table-1 volume, 20 runs) or quick")
 	runs := fs.Int("runs", 0, "override the number of runs")
 	seed := fs.Uint64("seed", 0, "override the experiment seed")

@@ -149,6 +149,24 @@ var sections = []section{
 			return res.Timeline.WriteMarkdown(w)
 		},
 	},
+	{
+		name:      "scrub",
+		extension: true,
+		write: func(opts repro.ExperimentOptions, w io.Writer) error {
+			res, err := repro.Scrub(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "### Scrub: end-to-end integrity under gray failure\n\n```\n"); err != nil {
+				return err
+			}
+			if err := res.Write(w); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "```\n")
+			return err
+		},
+	},
 }
 
 // observabilitySection renders the recorded-trace and journal appendix.

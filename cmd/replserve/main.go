@@ -21,6 +21,11 @@
 // re-replicated — and applies it to the live cluster without a restart,
 // reinstating the original placement once the site returns.
 //
+// With -scrub an anti-entropy scrubber walks every replica the live plan
+// stores, verifies its self-describing payload end to end (catching replica
+// rot and wire corruption that availability probes cannot see), and repairs
+// corrupt replicas by re-shipping only their bytes from the repository.
+//
 // Usage:
 //
 // With -trace every fetch is traced end to end — the client's page root,
@@ -34,7 +39,8 @@
 // Usage:
 //
 //	replserve [-seed N] [-storage F] [-fetch N] [-adapt] [-metrics] [-serve]
-//	          [-chaos LEVEL] [-heal] [-trace FILE] [-chrome FILE] [-journal]
+//	          [-chaos LEVEL] [-heal] [-scrub] [-trace FILE] [-chrome FILE]
+//	          [-journal]
 package main
 
 import (
@@ -64,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 	serve := fs.Bool("serve", false, "keep serving until interrupted instead of exiting")
 	chaos := fs.Float64("chaos", 0, "fault-injection level in [0,1]; 0 = healthy cluster")
 	heal := fs.Bool("heal", false, "run the self-healing supervisor: probe /healthz, repair around dead sites, recover when they return")
+	scrub := fs.Bool("scrub", false, "run the integrity scrubber: walk every stored replica, verify its self-describing payload end to end, and repair corrupt replicas with a delta-only re-ship (one cycle after -fetch; a continuous loop with -serve)")
 	tracePath := fs.String("trace", "", "trace every fetch end to end and write the span forest to this JSONL file")
 	chromePath := fs.String("chrome", "", "with -trace, also write the forest as Chrome trace-event JSON to this file")
 	journalOn := fs.Bool("journal", false, "arm the control-plane flight recorder (served at /debug/journal, tallied on exit)")
@@ -194,6 +201,16 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "self-healing: supervisor probing every site's /healthz (down after 3 missed probes, repair applied live)")
 	}
 
+	var scrubber *controller.Scrubber
+	if *scrub {
+		scrubber = controller.NewScrubber(env, cluster, controller.ScrubOptions{
+			Metrics: cluster.Metrics,
+			Log:     stdout,
+			Journal: journal,
+		})
+		fmt.Fprintln(stdout, "scrub: anti-entropy integrity scrubber armed (self-verifying payloads, delta-only repair)")
+	}
+
 	var adapter *controller.Adapter
 	if *adapt {
 		adapter, err = controller.NewAdapter(env, placement, cluster, freqEst, controller.AdaptOptions{
@@ -245,6 +262,20 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if scrubber != nil && *fetch > 0 {
+		fmt.Fprintln(stdout, "\nscrub cycle: walking every stored replica …")
+		cyc, err := scrubber.RunCycle()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "scrub: %d replicas checked, %d clean, %d corrupt, %d fetch errors\n",
+			cyc.Checked, cyc.Clean, len(cyc.Corrupt), cyc.Errors)
+		if cyc.Repaired {
+			fmt.Fprintf(stdout, "scrub: repaired %d replicas with a %v delta-only re-ship\n",
+				len(cyc.Corrupt), cyc.RepairBytes)
+		}
+	}
+
 	if adapter != nil && *fetch > 0 {
 		fmt.Fprintln(stdout, "\nadaptive cycle: drift check on the streamed estimate …")
 		cyc, err := adapter.CheckNow(time.Since(clusterStart).Seconds())
@@ -263,6 +294,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *serve {
+		if scrubber != nil {
+			scrubber.Start()
+			defer func() {
+				scrubber.Stop()
+				cycles, objects, corrupt, repairs := scrubber.Counts()
+				fmt.Fprintf(stdout, "scrub: %d cycles, %d replicas checked, %d corrupt, %d repairs, %v re-shipped\n",
+					cycles, objects, corrupt, repairs, scrubber.RepairBytes())
+			}()
+			fmt.Fprintln(stdout, "scrub: continuous integrity cycles every 2s")
+		}
 		if adapter != nil {
 			adapter.Start()
 			defer func() {

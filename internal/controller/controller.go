@@ -81,6 +81,18 @@ type Options struct {
 	// OKThreshold is the consecutive successful probes a down site must
 	// answer before recovery (default 2).
 	OKThreshold int
+	// LatencyThreshold, when positive, arms limping-node detection: a probe
+	// that answers 200 but whose EWMA round-trip time exceeds the threshold
+	// counts as a *failed* probe, so a site that is up-but-crawling walks
+	// the same suspect → down path as a dead one instead of hiding behind
+	// its 200s. Zero (the default) keeps the previous any-200-is-healthy
+	// behaviour.
+	LatencyThreshold time.Duration
+	// LatencyAlpha is the EWMA smoothing factor in (0, 1] for the per-site
+	// probe-latency estimate (default 0.3). Higher values react faster but
+	// flap more on one slow probe; the EWMA exists precisely so a single
+	// GC pause does not condemn a healthy site.
+	LatencyAlpha float64
 	// Workers bounds the repair planner's concurrency (0 = GOMAXPROCS).
 	Workers int
 	// Metrics, when non-nil, receives the controller counters
@@ -112,6 +124,9 @@ func (o Options) normalize() Options {
 	if o.OKThreshold <= 0 {
 		o.OKThreshold = 2
 	}
+	if o.LatencyAlpha <= 0 || o.LatencyAlpha > 1 {
+		o.LatencyAlpha = 0.3
+	}
 	return o
 }
 
@@ -128,6 +143,8 @@ type Supervisor struct {
 	states      []SiteState
 	fails       []int
 	oks         []int
+	ewma        []float64    // smoothed probe RTT per site, seconds; 0 = no sample yet
+	lastRTT     []float64    // last raw probe RTT per site, seconds
 	plan        *repair.Plan // active repair plan; nil while healthy
 	transitions []Transition
 	repairs     int
@@ -155,6 +172,8 @@ func New(env *model.Env, p *model.Placement, cluster *webserve.Cluster, opts Opt
 		states:  make([]SiteState, env.W.NumSites()),
 		fails:   make([]int, env.W.NumSites()),
 		oks:     make([]int, env.W.NumSites()),
+		ewma:    make([]float64, env.W.NumSites()),
+		lastRTT: make([]float64, env.W.NumSites()),
 	}
 	if reg := opts.Metrics; reg != nil {
 		s.cProbes = reg.Counter("controller.probes")
@@ -199,47 +218,69 @@ func (s *Supervisor) loop() {
 func (s *Supervisor) tick() {
 	n := s.env.W.NumSites()
 	ok := make([]bool, n)
+	rtt := make([]time.Duration, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ok[i] = s.probeSite(i)
+			ok[i], rtt[i] = s.probeSite(i)
 		}(i)
 	}
 	wg.Wait()
-	s.observe(ok)
+	s.observe(ok, rtt)
 }
 
-// probeSite performs one /healthz check.
-func (s *Supervisor) probeSite(i int) bool {
+// probeSite performs one /healthz check and reports its round-trip time
+// (meaningful only when ok).
+func (s *Supervisor) probeSite(i int) (bool, time.Duration) {
 	s.cProbes.Inc()
 	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, s.cluster.SiteBases[i]+"/healthz", nil)
 	if err != nil {
 		s.cProbeFails.Inc()
-		return false
+		return false, 0
 	}
+	t0 := time.Now()
 	resp, err := s.probe.Do(req)
 	if err != nil {
 		s.cProbeFails.Inc()
-		return false
+		return false, 0
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
+	rtt := time.Since(t0)
 	if resp.StatusCode != http.StatusOK {
 		s.cProbeFails.Inc()
-		return false
+		return false, 0
 	}
-	return true
+	return true, rtt
 }
 
 // observe advances every site's state machine on one probe round, then
 // reconciles the cluster if any site crossed the down or recovered edge.
-func (s *Supervisor) observe(ok []bool) {
+// A 200 whose EWMA-smoothed RTT exceeds LatencyThreshold is demoted to a
+// failed probe — the limping-node signal: a site can answer health checks
+// forever while serving data at a crawl, and before this signal the only
+// way it left Up was a hard timeout.
+func (s *Supervisor) observe(ok []bool, rtt []time.Duration) {
 	s.mu.Lock()
 	now := time.Since(s.start)
 	wentDown, cameBack := false, false
 	for i := range ok {
+		if ok[i] {
+			r := rtt[i].Seconds()
+			s.lastRTT[i] = r
+			if s.ewma[i] == 0 {
+				s.ewma[i] = r
+			} else {
+				a := s.opts.LatencyAlpha
+				s.ewma[i] = a*r + (1-a)*s.ewma[i]
+			}
+			if s.opts.LatencyThreshold > 0 && s.ewma[i] > s.opts.LatencyThreshold.Seconds() {
+				ok[i] = false // healthy answer, unhealthy latency: limping
+				s.cProbeFails.Inc()
+			}
+		}
 		st := s.states[i]
 		switch {
 		case ok[i]:
@@ -278,7 +319,10 @@ func (s *Supervisor) observe(ok []bool) {
 	}
 }
 
-// setState records a transition (mu held).
+// setState records a transition (mu held). The journal event carries the
+// site's latency picture (last raw probe RTT and its EWMA, milliseconds) so
+// a limping-driven demotion is explainable post-hoc: a down transition with
+// a healthy-looking RTT means timeouts, one with a fat EWMA means limping.
 func (s *Supervisor) setState(i int, to SiteState, at time.Duration) {
 	from := s.states[i]
 	if from == to {
@@ -290,8 +334,11 @@ func (s *Supervisor) setState(i int, to SiteState, at time.Duration) {
 	s.opts.Journal.Record("probe.transition",
 		trace.I(trace.AttrSite, int64(i)),
 		trace.A("from", from.String()),
-		trace.A("to", to.String()))
-	s.logf("t=%v site %d: %v -> %v", at.Round(time.Millisecond), i, from, to)
+		trace.A("to", to.String()),
+		trace.F("rtt_ms", s.lastRTT[i]*1e3),
+		trace.F("ewma_ms", s.ewma[i]*1e3))
+	s.logf("t=%v site %d: %v -> %v (rtt %.2fms ewma %.2fms)",
+		at.Round(time.Millisecond), i, from, to, s.lastRTT[i]*1e3, s.ewma[i]*1e3)
 }
 
 // reconcile drives the cluster to match the current down set: a repair plan
@@ -411,6 +458,15 @@ func (s *Supervisor) Counts() (repairs, recoveries int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.repairs, s.recoveries
+}
+
+// Latency returns site i's last raw probe RTT and its EWMA estimate
+// (zero until the first successful probe).
+func (s *Supervisor) Latency(i int) (last, ewma time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.lastRTT[i] * float64(time.Second)),
+		time.Duration(s.ewma[i] * float64(time.Second))
 }
 
 // Err returns the last reconcile error, nil if none.

@@ -57,13 +57,14 @@ func TestStateMachineTransitions(t *testing.T) {
 	journal := trace.NewJournal(128)
 	s := New(env, p, cluster, Options{FailThreshold: 3, OKThreshold: 2, Workers: 1, Journal: journal})
 	up, down := []bool{true, true, true}, []bool{false, true, true}
+	noRTT := make([]time.Duration, 3)
 
 	// One lost probe suspects, the next success clears — no repair.
-	s.observe(down)
+	s.observe(down, noRTT)
 	if st := s.States()[0]; st != Suspect {
 		t.Fatalf("after 1 failure: %v, want suspect", st)
 	}
-	s.observe(up)
+	s.observe(up, noRTT)
 	if st := s.States()[0]; st != Up {
 		t.Fatalf("after recovery probe: %v, want up", st)
 	}
@@ -73,7 +74,7 @@ func TestStateMachineTransitions(t *testing.T) {
 
 	// FailThreshold consecutive failures declare the site down and repair.
 	for i := 0; i < 3; i++ {
-		s.observe(down)
+		s.observe(down, noRTT)
 	}
 	if st := s.States()[0]; st != Down {
 		t.Fatalf("after 3 failures: %v, want down", st)
@@ -89,14 +90,14 @@ func TestStateMachineTransitions(t *testing.T) {
 	}
 
 	// One good probe is not recovery; an interleaved failure resets.
-	s.observe(up)
-	s.observe(down)
-	s.observe(up)
+	s.observe(up, noRTT)
+	s.observe(down, noRTT)
+	s.observe(up, noRTT)
 	if st := s.States()[0]; st != Down {
 		t.Fatalf("after flapping: %v, want down", st)
 	}
 	// OKThreshold consecutive successes recover and reinstate routing.
-	s.observe(up)
+	s.observe(up, noRTT)
 	if st := s.States()[0]; st != Up {
 		t.Fatalf("after %d good probes: %v, want up", 2, st)
 	}

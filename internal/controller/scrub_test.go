@@ -1,0 +1,292 @@
+package controller
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/webserve"
+	"repro/internal/workload"
+)
+
+// TestScrubberFindsAndRepairsRot is the anti-entropy unit test: rot three
+// stored replicas, run one cycle (every rotted replica found, repaired
+// delta-only, re-verified), then a second cycle that must come back clean.
+func TestScrubberFindsAndRepairsRot(t *testing.T) {
+	penv, p := healEnv(t)
+	stored := p.StoredSet(0).Members()
+	if len(stored) < 3 {
+		t.Fatalf("site 0 stores only %d replicas", len(stored))
+	}
+	rot := stored[:3]
+
+	plan := &faults.Plan{Seed: 7, Sites: make([]faults.Spec, penv.W.NumSites())}
+	plan.Sites[0].Rot = append([]int(nil), rot...)
+	cluster, err := webserve.StartClusterOptions(penv.W, p, webserve.ClusterOptions{
+		Metrics: true,
+		Faults:  plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	journal := trace.NewJournal(256)
+	s := NewScrubber(penv, cluster, ScrubOptions{Metrics: cluster.Metrics, Journal: journal})
+
+	cyc, err := s.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.Errors != 0 {
+		t.Fatalf("scrub saw %d fetch errors on a healthy cluster", cyc.Errors)
+	}
+	if len(cyc.Corrupt) != len(rot) {
+		t.Fatalf("cycle 1 found %d corrupt replicas, want %d: %+v", len(cyc.Corrupt), len(rot), cyc.Corrupt)
+	}
+	found := map[int]bool{}
+	var wantBytes units.ByteSize
+	for _, f := range cyc.Corrupt {
+		if f.Site != 0 {
+			t.Fatalf("finding on site %d, rot was injected on site 0", f.Site)
+		}
+		found[int(f.Object)] = true
+	}
+	for _, k := range rot {
+		if !found[k] {
+			t.Fatalf("rotted object %d not found", k)
+		}
+		wantBytes += penv.W.ObjectSize(workload.ObjectID(k))
+	}
+	if !cyc.Repaired {
+		t.Fatal("cycle 1 did not repair")
+	}
+	// Delta-only repair: exactly the rotted replicas' bytes are re-shipped.
+	if cyc.RepairBytes != wantBytes {
+		t.Fatalf("repair shipped %v, want %v (the rotted replicas only)", cyc.RepairBytes, wantBytes)
+	}
+	if cluster.RotRemaining() != 0 {
+		t.Fatalf("%d replicas still rotted after repair", cluster.RotRemaining())
+	}
+
+	cyc2, err := s.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cyc2.Corrupt) != 0 || cyc2.Repaired {
+		t.Fatalf("cycle 2 not clean: %d corrupt, repaired=%v", len(cyc2.Corrupt), cyc2.Repaired)
+	}
+
+	// Telemetry and journal agree with the cycle accounting.
+	if got := cluster.Metrics.Counter("scrub.corrupt").Value(); got != int64(len(rot)) {
+		t.Errorf("scrub.corrupt = %d, want %d", got, len(rot))
+	}
+	if got := cluster.Metrics.Counter("scrub.repairs").Value(); got != 1 {
+		t.Errorf("scrub.repairs = %d, want 1", got)
+	}
+	var findings, repairs int
+	for _, ev := range journal.Events() {
+		switch ev.Type {
+		case "scrub.corrupt":
+			findings++
+		case "scrub.repaired":
+			repairs++
+		}
+	}
+	if findings != len(rot) || repairs != 1 {
+		t.Errorf("journal has %d scrub.corrupt / %d scrub.repaired events, want %d / 1", findings, repairs, len(rot))
+	}
+}
+
+// TestScrubberSkipsDownSites pins availability/integrity separation: a dead
+// site's replicas are the supervisor's problem, not integrity findings.
+func TestScrubberSkipsDownSites(t *testing.T) {
+	penv, p := healEnv(t)
+	cluster, err := webserve.StartClusterOptions(penv.W, p, webserve.ClusterOptions{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.KillSite(0); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewScrubber(penv, cluster, ScrubOptions{})
+	cyc, err := s.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.Errors != 0 {
+		t.Fatalf("scrubbing around a dead site produced %d errors", cyc.Errors)
+	}
+	if len(cyc.Corrupt) != 0 {
+		t.Fatalf("dead site produced %d integrity findings", len(cyc.Corrupt))
+	}
+}
+
+// TestScrubberRaceWithChaosAndFetches is the -race soak: the continuous
+// scrub loop, a chaos fault plan, live verifying clients and rot repair all
+// run concurrently against one cluster. Every fetch must still succeed (the
+// repository fallback absorbs the chaos) and the scrubber must converge on
+// zero rotted replicas.
+func TestScrubberRaceWithChaosAndFetches(t *testing.T) {
+	penv, p := healEnv(t)
+	stored := p.StoredSet(1).Members()
+	n := 4
+	if n > len(stored) {
+		n = len(stored)
+	}
+	plan := &faults.Plan{Seed: 11, Sites: make([]faults.Spec, penv.W.NumSites())}
+	plan.Sites[1].Rot = append([]int(nil), stored[:n]...)
+	plan.Sites[2].ErrorRate = 0.05
+	plan.Sites[2].CorruptRate = 0.05
+	cluster, err := webserve.StartClusterOptions(penv.W, p, webserve.ClusterOptions{
+		Metrics: true,
+		Faults:  plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	s := NewScrubber(penv, cluster, ScrubOptions{
+		Interval: 20 * time.Millisecond,
+		Metrics:  cluster.Metrics,
+	})
+	s.Start()
+	defer s.Stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := cluster.Client(webserve.ClientOptions{
+				Retries:     2,
+				BackoffBase: time.Millisecond,
+				JitterSeed:  uint64(g + 1),
+			})
+			site := g % penv.W.NumSites()
+			for i := 0; i < 6; i++ {
+				pid := penv.W.Sites[site].Pages[i%len(penv.W.Sites[site].Pages)]
+				if _, err := client.FetchPage(cluster.PageURL(pid), pid); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for cluster.RotRemaining() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := cluster.RotRemaining(); got != 0 {
+		t.Fatalf("%d replicas still rotted after the soak", got)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("scrub loop error: %v", err)
+	}
+	cycles, _, corrupt, repairs := s.Counts()
+	if cycles == 0 || corrupt < n || repairs == 0 {
+		t.Fatalf("soak accounting off: cycles=%d corrupt=%d repairs=%d (want ≥1/≥%d/≥1)", cycles, corrupt, repairs, n)
+	}
+}
+
+// TestSupervisorDetectsLimpingSite pins the latency-aware health layer end
+// to end: a site that answers every probe 200-but-slow walks to Down via the
+// EWMA threshold, with the probe RTT recorded on the journal transitions.
+func TestSupervisorDetectsLimpingSite(t *testing.T) {
+	penv, p := healEnv(t)
+	plan := &faults.Plan{Seed: 3, Sites: make([]faults.Spec, penv.W.NumSites())}
+	plan.Sites[1].LimpLatency = 30 * time.Millisecond
+	plan.Sites[1].Limps = []faults.Window{{Start: 0, End: time.Hour}}
+	cluster, err := webserve.StartClusterOptions(penv.W, p, webserve.ClusterOptions{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	journal := trace.NewJournal(256)
+	s := New(penv, p, cluster, Options{
+		ProbeInterval: 20 * time.Millisecond,
+		// Far above the limp: every probe answers 200, so only the latency
+		// threshold can demote the site — the gray path under test.
+		ProbeTimeout:     2 * time.Second,
+		FailThreshold:    3,
+		OKThreshold:      2,
+		LatencyThreshold: 5 * time.Millisecond,
+		Workers:          1,
+		Journal:          journal,
+		Metrics:          telemetry.NewRegistry(),
+	})
+	s.Start()
+	defer s.Stop()
+
+	if !s.WaitFor(func(states []SiteState) bool { return states[1] == Down }, 10*time.Second) {
+		t.Fatalf("limping site never declared down; states=%v", s.States())
+	}
+	if states := s.States(); states[0] == Down || states[2] == Down {
+		t.Fatalf("healthy sites demoted: %v", states)
+	}
+	_, ewma := s.Latency(1)
+	if ewma < 5*time.Millisecond {
+		t.Errorf("limping site's EWMA %v below the threshold that demoted it", ewma)
+	}
+	var sawRTT bool
+	for _, ev := range journal.Events() {
+		if ev.Type == "probe.transition" && ev.Field("rtt_ms") != "" {
+			sawRTT = true
+		}
+	}
+	if !sawRTT {
+		t.Error("no probe.transition journal event carries rtt_ms")
+	}
+}
+
+// TestObserveLatencyDemotion drives the EWMA branch synthetically: probes
+// that succeed over the threshold count as failures; probes under it heal.
+func TestObserveLatencyDemotion(t *testing.T) {
+	penv, p := healEnv(t)
+	cluster, err := webserve.StartCluster(penv.W, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	s := New(penv, p, cluster, Options{
+		FailThreshold:    2,
+		OKThreshold:      1,
+		LatencyThreshold: 10 * time.Millisecond,
+		LatencyAlpha:     1, // no smoothing: each probe's RTT is the EWMA
+		Workers:          1,
+	})
+	slow := []time.Duration{50 * time.Millisecond, time.Millisecond, time.Millisecond}
+	fast := []time.Duration{time.Millisecond, time.Millisecond, time.Millisecond}
+
+	s.observe([]bool{true, true, true}, slow)
+	if st := s.States()[0]; st != Suspect {
+		t.Fatalf("after one slow probe: %v, want suspect", st)
+	}
+	s.observe([]bool{true, true, true}, slow)
+	if st := s.States()[0]; st != Down {
+		t.Fatalf("after two slow probes: %v, want down", st)
+	}
+	s.observe([]bool{true, true, true}, fast)
+	if st := s.States()[0]; st != Up {
+		t.Fatalf("after a fast probe: %v, want up", st)
+	}
+	if states := s.States(); states[1] != Up || states[2] != Up {
+		t.Fatalf("fast sites demoted: %v", states)
+	}
+}

@@ -50,6 +50,10 @@ type Spec struct {
 	// through and the connection dropped (the client sees an unexpected
 	// EOF mid-body).
 	TruncateRate float64 `json:"truncate_rate,omitempty"`
+	// CorruptRate is the probability a response body is served with a
+	// deterministic bit-flip — wire corruption the receiver can only catch
+	// end to end (the payloads are self-verifying, so it always can).
+	CorruptRate float64 `json:"corrupt_rate,omitempty"`
 	// Latency is added to every request before it is served.
 	Latency time.Duration `json:"latency,omitempty"`
 	// LatencyJitter adds a uniform extra delay in [0, LatencyJitter).
@@ -57,24 +61,56 @@ type Spec struct {
 	// Outages lists full-failure windows; during one, every request fails
 	// with 503 regardless of the rates above.
 	Outages []Window `json:"outages,omitempty"`
+
+	// Gray failures — the modes /healthz cannot see (or sees wrongly).
+	// All of them are window- or set-driven with zero randomness consumed,
+	// so arming them never shifts the rate-fault decision stream.
+
+	// Rot lists object IDs whose stored replica is persistently corrupt at
+	// this server: every /mo/<id> response for a rotted object carries a
+	// deterministic seeded bit-flip until the rot is cleared (an
+	// anti-entropy repair re-writing the replica).
+	Rot []int `json:"rot,omitempty"`
+	// LimpLatency is the extra fixed delay added to every request during a
+	// Limps window — a limping (slow-node) server, distinct from the
+	// one-shot Latency above: it is persistent, exact, and consumes no
+	// randomness, so a latency-aware health check can prove it detected it.
+	LimpLatency time.Duration `json:"limp_latency,omitempty"`
+	// Limps lists the limping windows.
+	Limps []Window `json:"limps,omitempty"`
+	// PartitionControl lists windows during which only the control plane is
+	// cut: /healthz fails while data paths serve normally — the site looks
+	// dead to the supervisor but fine to clients.
+	PartitionControl []Window `json:"partition_control,omitempty"`
+	// PartitionData lists the inverse partial partition: data paths drop
+	// their connections while /healthz keeps answering 200 — the site looks
+	// fine to the supervisor but dead to clients.
+	PartitionData []Window `json:"partition_data,omitempty"`
 }
 
 // Validate rejects unusable specs.
 func (s *Spec) Validate() error {
-	for _, r := range []float64{s.ErrorRate, s.ResetRate, s.TruncateRate} {
+	for _, r := range []float64{s.ErrorRate, s.ResetRate, s.TruncateRate, s.CorruptRate} {
 		if r < 0 || r > 1 {
 			return fmt.Errorf("faults: rate %v outside [0, 1]", r)
 		}
 	}
-	if sum := s.ErrorRate + s.ResetRate + s.TruncateRate; sum > 1 {
+	if sum := s.ErrorRate + s.ResetRate + s.TruncateRate + s.CorruptRate; sum > 1 {
 		return fmt.Errorf("faults: rates sum to %v > 1", sum)
 	}
-	if s.Latency < 0 || s.LatencyJitter < 0 {
+	if s.Latency < 0 || s.LatencyJitter < 0 || s.LimpLatency < 0 {
 		return fmt.Errorf("faults: negative latency")
 	}
-	for _, w := range s.Outages {
-		if w.End < w.Start || w.Start < 0 {
-			return fmt.Errorf("faults: outage window [%v, %v) is invalid", w.Start, w.End)
+	for _, k := range s.Rot {
+		if k < 0 {
+			return fmt.Errorf("faults: negative rot object %d", k)
+		}
+	}
+	for _, ws := range [][]Window{s.Outages, s.Limps, s.PartitionControl, s.PartitionData} {
+		for _, w := range ws {
+			if w.End < w.Start || w.Start < 0 {
+				return fmt.Errorf("faults: window [%v, %v) is invalid", w.Start, w.End)
+			}
 		}
 	}
 	return nil
@@ -83,7 +119,10 @@ func (s *Spec) Validate() error {
 // Quiet reports whether the spec injects nothing.
 func (s Spec) Quiet() bool {
 	return s.ErrorRate == 0 && s.ResetRate == 0 && s.TruncateRate == 0 &&
-		s.Latency == 0 && s.LatencyJitter == 0 && len(s.Outages) == 0
+		s.CorruptRate == 0 && s.Latency == 0 && s.LatencyJitter == 0 &&
+		len(s.Outages) == 0 && len(s.Rot) == 0 &&
+		s.LimpLatency == 0 && len(s.Limps) == 0 &&
+		len(s.PartitionControl) == 0 && len(s.PartitionData) == 0
 }
 
 // FullOutage returns a spec that fails every request forever — the
@@ -142,13 +181,28 @@ func (p *Plan) normalize() {
 	if len(p.Sites) == 0 {
 		p.Sites = nil
 	}
-	if len(p.Repo.Outages) == 0 {
-		p.Repo.Outages = nil
-	}
+	p.Repo.normalize()
 	for i := range p.Sites {
-		if len(p.Sites[i].Outages) == 0 {
-			p.Sites[i].Outages = nil
-		}
+		p.Sites[i].normalize()
+	}
+}
+
+// normalize collapses a spec's empty slices to nil (what omitempty emits).
+func (s *Spec) normalize() {
+	if len(s.Outages) == 0 {
+		s.Outages = nil
+	}
+	if len(s.Rot) == 0 {
+		s.Rot = nil
+	}
+	if len(s.Limps) == 0 {
+		s.Limps = nil
+	}
+	if len(s.PartitionControl) == 0 {
+		s.PartitionControl = nil
+	}
+	if len(s.PartitionData) == 0 {
+		s.PartitionData = nil
 	}
 }
 
@@ -182,6 +236,11 @@ type PlanConfig struct {
 	OutageMax time.Duration
 	// Horizon is the time span within which outage windows start.
 	Horizon time.Duration
+	// CorruptLevel in [0, 1] scales a drawn per-request wire-corruption
+	// rate (≤4 % at level 1). Zero (the default) draws nothing — and, by
+	// drawing from its own child stream, leaves every pre-existing plan's
+	// bytes untouched.
+	CorruptLevel float64
 	// FaultRepo also draws faults for the repository. Off by default: the
 	// paper's repository is the always-on root, and keeping it clean is
 	// what makes degraded-mode fallback meaningful.
@@ -209,6 +268,9 @@ func (c *PlanConfig) Validate() error {
 	if c.OutageProb < 0 || c.OutageProb > 1 {
 		return fmt.Errorf("faults: OutageProb %v outside [0, 1]", c.OutageProb)
 	}
+	if c.CorruptLevel < 0 || c.CorruptLevel > 1 {
+		return fmt.Errorf("faults: CorruptLevel %v outside [0, 1]", c.CorruptLevel)
+	}
 	if c.MaxLatency < 0 || c.OutageMax < 0 || c.Horizon < 0 {
 		return fmt.Errorf("faults: negative duration")
 	}
@@ -220,6 +282,10 @@ func (c *PlanConfig) Validate() error {
 const (
 	planRepoStream uint64 = iota + 301
 	planSiteStream
+	// planCorruptStream feeds the wire-corruption rate draws. A separate
+	// child stream (not extra draws inside drawSpec) so plans generated
+	// before corruption existed keep byte-identical Encode output.
+	planCorruptStream
 )
 
 // Generate draws a fault plan for a cluster of the given size. Generation
@@ -239,6 +305,12 @@ func Generate(cfg PlanConfig, sites int, seed uint64) (*Plan, error) {
 	}
 	for i := 0; i < sites; i++ {
 		p.Sites[i] = drawSpec(cfg, root.Split(planSiteStream, uint64(i)))
+	}
+	if cfg.CorruptLevel > 0 {
+		for i := 0; i < sites; i++ {
+			p.Sites[i].CorruptRate = cfg.CorruptLevel *
+				root.Split(planCorruptStream, uint64(i)).Uniform(0, 0.04)
+		}
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/htmlrefs"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -13,9 +14,10 @@ import (
 // Metrics counts what the middleware actually injected. All fields are
 // nil-tolerant telemetry counters, so the zero Metrics is a no-op sink.
 type Metrics struct {
-	Failures    *telemetry.Counter // 503s (rate-drawn and outage-window)
+	Failures    *telemetry.Counter // 503s (rate-drawn, outage- and partition-window)
 	Resets      *telemetry.Counter // connections dropped before any byte
 	Truncations *telemetry.Counter // bodies cut mid-transfer
+	Corruptions *telemetry.Counter // bodies served with a bit-flip (wire or rot)
 	Delayed     *telemetry.Counter // requests that slept an injected delay
 
 	// Journal, when non-nil, receives one "fault.injected" event per
@@ -40,26 +42,29 @@ func MetricsFor(reg *telemetry.Registry, prefix string) Metrics {
 		Failures:    reg.Counter(prefix + "injected_failures"),    //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
 		Resets:      reg.Counter(prefix + "injected_resets"),      //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
 		Truncations: reg.Counter(prefix + "injected_truncations"), //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
+		Corruptions: reg.Counter(prefix + "injected_corruptions"), //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
 		Delayed:     reg.Counter(prefix + "injected_delays"),      //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
 	}
 }
 
 // Middleware wraps next with fault injection driven by the injector. clock
-// reports the elapsed time since the plan was armed (it feeds the outage
-// windows); a nil clock pins elapsed to 0, which keeps rate faults working
-// and makes windows starting at 0 permanent.
+// reports the elapsed time since the plan was armed (it feeds the outage,
+// limp and partition windows); a nil clock pins elapsed to 0, which keeps
+// rate faults working and makes windows starting at 0 permanent.
 //
 // Reset and Truncate abort the connection via http.ErrAbortHandler — the
 // mechanism net/http itself designates for "drop this connection without a
 // valid response" — so clients observe EOF / unexpected EOF exactly as
-// they would from a crashing server.
+// they would from a crashing server. Corrupt (and replica rot on /mo/
+// paths) serves a complete, well-formed response whose body carries a
+// deterministic bit-flip: only an end-to-end payload check can tell.
 func Middleware(inj *Injector, clock func() time.Duration, m Metrics, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
 		elapsed := time.Duration(0)
 		if clock != nil {
 			elapsed = clock()
 		}
-		d := inj.Decide(elapsed)
+		d := inj.DecideRequest(elapsed, req.URL.Path)
 		if d.Delay > 0 {
 			m.Delayed.Inc()
 			m.record("delay")
@@ -86,7 +91,21 @@ func Middleware(inj *Injector, clock func() time.Duration, m Metrics, next http.
 				f.Flush()
 			}
 			panic(http.ErrAbortHandler)
+		case Corrupt:
+			m.Corruptions.Inc()
+			m.record("corrupt")
+			next.ServeHTTP(&corruptingWriter{rw: rw, frac: d.CorruptFrac, mask: d.CorruptMask}, req)
 		default:
+			// Replica rot: a stored object whose bytes went bad. Persistent
+			// (same flip every read, from RotFlip's pure derivation) until
+			// the anti-entropy repair clears it.
+			if k, ok := htmlrefs.ParseMOPath(req.URL.Path); ok && inj.Rotted(int(k)) {
+				frac, mask := inj.RotFlip(int(k))
+				m.Corruptions.Inc()
+				m.record("rot")
+				next.ServeHTTP(&corruptingWriter{rw: rw, frac: frac, mask: mask}, req)
+				return
+			}
 			next.ServeHTTP(rw, req)
 		}
 	})
@@ -147,4 +166,55 @@ func (t *truncatingWriter) Write(p []byte) (int, error) {
 		return n, errTruncated
 	}
 	return n, nil
+}
+
+// corruptingWriter forwards the full response body but XORs the byte at
+// offset frac·Content-Length with mask. The transfer completes normally —
+// same length, same status, valid HTTP — which is exactly what makes this
+// a gray failure: only an end-to-end payload verification catches it.
+type corruptingWriter struct {
+	rw      http.ResponseWriter
+	frac    float64
+	mask    byte
+	started bool
+	target  int64 // absolute offset of the byte to flip; -1 = none left
+	written int64
+}
+
+func (c *corruptingWriter) Header() http.Header { return c.rw.Header() }
+
+func (c *corruptingWriter) WriteHeader(status int) {
+	c.start()
+	c.rw.WriteHeader(status)
+}
+
+// start fixes the flip offset from the declared Content-Length; undeclared
+// (chunked) bodies flip their first byte.
+func (c *corruptingWriter) start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.target = 0
+	if cl, err := strconv.ParseInt(c.rw.Header().Get("Content-Length"), 10, 64); err == nil && cl > 0 {
+		c.target = int64(c.frac * float64(cl))
+		if c.target >= cl {
+			c.target = cl - 1
+		}
+	}
+}
+
+func (c *corruptingWriter) Write(p []byte) (int, error) {
+	c.start()
+	if c.target >= c.written && c.target < c.written+int64(len(p)) {
+		// Copy-on-write: p may alias a caller buffer that is reused.
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[c.target-c.written] ^= c.mask
+		c.target = -1
+		p = q
+	}
+	n, err := c.rw.Write(p)
+	c.written += int64(n)
+	return n, err
 }

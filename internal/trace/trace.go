@@ -85,6 +85,7 @@ const (
 	SpanBreaker  = "breaker"  // zero-duration marker: a breaker decision
 	SpanServe    = "serve"    // server-side handling of one request
 	SpanFailover = "failover" // simulated degraded-view failover cost
+	SpanHedge    = "hedge"    // zero-duration marker: a hedge leg launched
 )
 
 // Span kinds.

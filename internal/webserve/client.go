@@ -1,6 +1,7 @@
 package webserve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -93,6 +94,14 @@ type ClientOptions struct {
 	// on the breaker's own seeded stream so a fleet of clients does not
 	// re-probe in lockstep.
 	BreakerCooldown time.Duration
+	// HedgeDelay, when positive, arms hedged object fetches (the mHTTP
+	// multi-source stance): if an MO's assigned server has not answered
+	// within a seeded per-request jittered delay in [d, 3d/2), a second
+	// request races it against the repository fallback and the first
+	// success wins — a limping server degrades to repository latency
+	// instead of stalling the chain until a hard timeout. Zero (the
+	// default) disables hedging; it needs FallbackBase to act.
+	HedgeDelay time.Duration
 	// Metrics, when non-nil, receives the client's resilience counters
 	// (client.retries, client.fallbacks, client.degraded_pages,
 	// client.request_failures) plus the reason-labeled breakdowns
@@ -169,13 +178,15 @@ type Client struct {
 	// failures and are retried.
 	Verify bool
 
-	// jitter drives backoff randomization and breakerJitter the breaker's
-	// cooldown spread; guarded by jmu because the two chains retry
-	// concurrently. Both are Split-derived children of the JitterSeed root
-	// (see the stream labels below), never the root itself.
+	// jitter drives backoff randomization, breakerJitter the breaker's
+	// cooldown spread, and hedgeJitter the hedge-delay spread; guarded by
+	// jmu because the two chains retry concurrently. All are Split-derived
+	// children of the JitterSeed root (see the stream labels below), never
+	// the root itself.
 	jmu           sync.Mutex
 	jitter        *rng.Stream
 	breakerJitter *rng.Stream
+	hedgeJitter   *rng.Stream
 
 	// Per-host circuit breakers, created on first contact.
 	brmu     sync.Mutex
@@ -183,6 +194,7 @@ type Client struct {
 
 	cRetries, cFallbacks, cDegraded, cFailures *telemetry.Counter
 	cTrips, cFastFails                         *telemetry.Counter
+	cHedges, cHedgePrimary, cHedgeFallback     *telemetry.Counter
 	// Reason-labeled breakdowns of retries and fallbacks, keyed by the
 	// failureReason vocabulary; a missing key yields a nil (no-op) counter.
 	cRetryBy, cFallbackBy map[string]*telemetry.Counter
@@ -198,12 +210,17 @@ const (
 	reasonReset       = "reset"
 	reason5xx         = "5xx"
 	reasonBreakerOpen = "breaker_open"
+	reasonCorrupt     = "corrupt"
 	reasonOther       = "other"
 )
 
 // failureReason classifies a request failure for the labeled counters and
 // span attributes.
 func failureReason(err error) string {
+	var ie *IntegrityError
+	if errors.As(err, &ie) {
+		return reasonCorrupt
+	}
 	var se *statusError
 	if errors.As(err, &se) {
 		if se.code >= 500 {
@@ -252,6 +269,7 @@ func (c *Client) countFallback(reason string) {
 const (
 	clientBackoffStream uint64 = iota + 401
 	clientBreakerStream
+	clientHedgeStream
 )
 
 // NewClient builds a client for the workload with DefaultClientOptions —
@@ -275,6 +293,7 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 		},
 		jitter:        rng.New(opts.JitterSeed).Split(clientBackoffStream),
 		breakerJitter: rng.New(opts.JitterSeed).Split(clientBreakerStream),
+		hedgeJitter:   rng.New(opts.JitterSeed).Split(clientHedgeStream),
 		breakers:      make(map[string]*hostBreaker),
 		tracer:        opts.Trace,
 	}
@@ -285,11 +304,15 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 		c.cFailures = reg.Counter("client.request_failures")
 		c.cTrips = reg.Counter("client.breaker_trips")
 		c.cFastFails = reg.Counter("client.breaker_fastfails")
+		c.cHedges = reg.Counter("client.hedge.launched")
+		c.cHedgePrimary = reg.Counter("client.hedge.wins_by.primary")
+		c.cHedgeFallback = reg.Counter("client.hedge.wins_by.fallback")
 		c.cRetryBy = map[string]*telemetry.Counter{
 			reasonTimeout:     reg.Counter("client.retries_by.timeout"),
 			reasonReset:       reg.Counter("client.retries_by.reset"),
 			reason5xx:         reg.Counter("client.retries_by.5xx"),
 			reasonBreakerOpen: reg.Counter("client.retries_by.breaker_open"),
+			reasonCorrupt:     reg.Counter("client.retries_by.corrupt"),
 			reasonOther:       reg.Counter("client.retries_by.other"),
 		}
 		c.cFallbackBy = map[string]*telemetry.Counter{
@@ -297,6 +320,7 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 			reasonReset:       reg.Counter("client.fallbacks_by.reset"),
 			reason5xx:         reg.Counter("client.fallbacks_by.5xx"),
 			reasonBreakerOpen: reg.Counter("client.fallbacks_by.breaker_open"),
+			reasonCorrupt:     reg.Counter("client.fallbacks_by.corrupt"),
 			reasonOther:       reg.Counter("client.fallbacks_by.other"),
 		}
 	}
@@ -307,9 +331,10 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 func (c *Client) Options() ClientOptions { return c.opts }
 
 // get fetches a URL fully, once, stamping the trace-propagation header
-// when the request runs under a span.
-func (c *Client) get(url, traceHdr string) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+// when the request runs under a span. ctx cancellation (a hedge race
+// already decided) aborts the request mid-flight.
+func (c *Client) get(ctx context.Context, url, traceHdr string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -459,8 +484,10 @@ func (c *Client) backoff(attempt int) time.Duration {
 // (truncated and corrupted transfers look exactly like that). sp, when
 // non-nil, is the span the request runs under: its context propagates via
 // X-Repl-Trace, and every retry, backoff sleep and breaker decision lands
-// as a child span or event beneath it.
-func (c *Client) getRetry(url string, verify func([]byte) error, sp *trace.Active) (data []byte, retries int, err error) {
+// as a child span or event beneath it. A canceled ctx (the other leg of a
+// hedge race won) returns immediately without feeding the breaker or the
+// failure counters — a lost race is not evidence against the host.
+func (c *Client) getRetry(ctx context.Context, url string, verify func([]byte) error, sp *trace.Active) (data []byte, retries int, err error) {
 	var br *hostBreaker
 	if c.opts.BreakerThreshold > 0 {
 		br = c.breakerFor(hostOf(url))
@@ -471,7 +498,10 @@ func (c *Client) getRetry(url string, verify func([]byte) error, sp *trace.Activ
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		data, err = c.get(url, sp.HeaderValue())
+		data, err = c.get(ctx, url, sp.HeaderValue())
+		if err != nil && ctx.Err() != nil {
+			return nil, retries, ctx.Err()
+		}
 		if err == nil && verify != nil {
 			err = verify(data)
 		}
@@ -501,7 +531,14 @@ func (c *Client) getRetry(url string, verify func([]byte) error, sp *trace.Activ
 		c.countRetry(reason)
 		sp.Event(trace.SpanRetry, trace.A(trace.AttrReason, reason))
 		bo := sp.StartChild(trace.SpanBackoff)
-		time.Sleep(c.backoff(attempt + 1))
+		t := time.NewTimer(c.backoff(attempt + 1))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			bo.End()
+			return nil, retries, ctx.Err()
+		}
 		bo.End()
 	}
 }
@@ -514,20 +551,41 @@ func (c *Client) moVerifier(k workload.ObjectID) func([]byte) error {
 	return func(data []byte) error { return VerifyObject(c.w, k, data) }
 }
 
+// hedgeDelay returns the jittered hedge trigger delay in [d, 3d/2), drawn
+// from the hedge's dedicated stream.
+func (c *Client) hedgeDelay() time.Duration {
+	d := c.opts.HedgeDelay
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return d + time.Duration(c.hedgeJitter.Uniform(0, float64(d/2)))
+}
+
 // fetchMO downloads one object from url, degrading to the repository when
 // the assigned server keeps failing and a fallback base is configured.
 // parent, when non-nil, receives an "mo" child span covering the whole
-// fetch including any fallback leg.
+// fetch including any fallback leg. With HedgeDelay armed the fetch races
+// a late-started repository leg against a slow assigned server instead of
+// waiting for it to fail outright.
 func (c *Client) fetchMO(url string, k workload.ObjectID, parent *trace.Active) (data []byte, retries int, fellBack bool, err error) {
 	mo := parent.StartChild(trace.SpanMO)
 	mo.SetAttr(trace.I(trace.AttrObject, int64(k)))
-	data, retries, err = c.getRetry(url, c.moVerifier(k), mo)
+	fb := c.opts.FallbackBase
+	if c.opts.HedgeDelay > 0 && fb != "" && hostOf(url) != fb {
+		data, retries, fellBack, err = c.fetchMOHedged(url, k, mo)
+		if err == nil {
+			mo.SetAttr(trace.I(trace.AttrBytes, int64(len(data))))
+		} else {
+			mo.SetAttr(trace.A(trace.AttrReason, failureReason(err)))
+		}
+		mo.End()
+		return data, retries, fellBack, err
+	}
+	data, retries, err = c.getRetry(context.Background(), url, c.moVerifier(k), mo)
 	if err == nil {
 		mo.SetAttr(trace.I(trace.AttrBytes, int64(len(data))))
 		mo.End()
 		return data, retries, false, nil
 	}
-	fb := c.opts.FallbackBase
 	if fb == "" || hostOf(url) == fb {
 		mo.SetAttr(trace.A(trace.AttrReason, failureReason(err)))
 		mo.End()
@@ -537,7 +595,7 @@ func (c *Client) fetchMO(url string, k workload.ObjectID, parent *trace.Active) 
 	c.countFallback(reason)
 	fbSpan := mo.StartChild(trace.SpanFallback)
 	fbSpan.SetAttr(trace.A(trace.AttrReason, reason))
-	data, r2, err2 := c.getRetry(fb+htmlrefs.MOPath(k), c.moVerifier(k), fbSpan)
+	data, r2, err2 := c.getRetry(context.Background(), fb+htmlrefs.MOPath(k), c.moVerifier(k), fbSpan)
 	fbSpan.End()
 	retries += r2
 	if err2 != nil {
@@ -548,6 +606,92 @@ func (c *Client) fetchMO(url string, k workload.ObjectID, parent *trace.Active) 
 	mo.SetAttr(trace.I(trace.AttrBytes, int64(len(data))))
 	mo.End()
 	return data, retries, true, nil
+}
+
+// hedgeLeg is one side of a hedged fetch race.
+type hedgeLeg struct {
+	data     []byte
+	retries  int
+	err      error
+	fallback bool
+}
+
+// fetchMOHedged races the assigned server against a repository leg that
+// launches only after the jittered hedge delay: a healthy primary wins
+// before the hedge ever fires, a limping one is overtaken at repository
+// latency, and a failed one triggers the classic failure fallback
+// immediately. The first success cancels the loser; neither a lost race
+// nor its canceled requests feed the breakers or failure counters.
+func (c *Client) fetchMOHedged(url string, k workload.ObjectID, mo *trace.Active) (data []byte, retries int, fellBack bool, err error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fb := c.opts.FallbackBase
+	results := make(chan hedgeLeg, 2)
+	go func() {
+		d, r, e := c.getRetry(ctx, url, c.moVerifier(k), mo)
+		results <- hedgeLeg{data: d, retries: r, err: e}
+	}()
+	launchFallback := func(reason string) {
+		fbSpan := mo.StartChild(trace.SpanFallback)
+		fbSpan.SetAttr(trace.A(trace.AttrReason, reason))
+		go func() {
+			d, r, e := c.getRetry(ctx, fb+htmlrefs.MOPath(k), c.moVerifier(k), fbSpan)
+			fbSpan.End()
+			results <- hedgeLeg{data: d, retries: r, err: e, fallback: true}
+		}()
+	}
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	// launched: a fallback leg is running; hedged: it was the timer (not a
+	// primary failure) that launched it, so its outcome is a hedge win/loss.
+	launched, hedged, pending := false, false, 1
+	var primaryErr, fallbackErr error
+	for {
+		select {
+		case <-timer.C:
+			if !launched {
+				launched, hedged = true, true
+				c.cHedges.Inc()
+				mo.Event(trace.SpanHedge, trace.A(trace.AttrSite, hostOf(url)))
+				pending++
+				launchFallback("hedge")
+			}
+		case leg := <-results:
+			pending--
+			retries += leg.retries
+			if leg.err == nil {
+				if hedged && leg.fallback {
+					c.cHedgeFallback.Inc()
+				} else if hedged {
+					c.cHedgePrimary.Inc()
+				}
+				cancel()
+				return leg.data, retries, leg.fallback, nil
+			}
+			if leg.fallback {
+				fallbackErr = leg.err
+			} else {
+				primaryErr = leg.err
+				if !launched {
+					// The primary failed outright before the hedge fired:
+					// this is the ordinary failure-triggered fallback, not a
+					// hedge — count it as such.
+					launched = true
+					timer.Stop()
+					reason := failureReason(leg.err)
+					c.countFallback(reason)
+					pending++
+					launchFallback(reason)
+				}
+			}
+			if pending == 0 {
+				if primaryErr == nil {
+					primaryErr = fallbackErr
+				}
+				return nil, retries, true, fmt.Errorf("%w (repository fallback also failed: %v)", primaryErr, fallbackErr)
+			}
+		}
+	}
 }
 
 // hostOf extracts scheme://host of a URL (everything before the path).
@@ -579,7 +723,7 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 	defer root.End()
 
 	html := root.StartChild(trace.SpanHTML)
-	doc, retries, err := c.getRetry(pageURL, nil, html)
+	doc, retries, err := c.getRetry(context.Background(), pageURL, nil, html)
 	res.Retries += retries
 	if err != nil {
 		fb := c.opts.FallbackBase
@@ -590,7 +734,7 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 		}
 		fbSpan := html.StartChild(trace.SpanFallback)
 		fbSpan.SetAttr(trace.A(trace.AttrReason, failureReason(err)))
-		doc, retries, err = c.getRetry(fb+htmlrefs.PagePath(j), nil, fbSpan)
+		doc, retries, err = c.getRetry(context.Background(), fb+htmlrefs.PagePath(j), nil, fbSpan)
 		fbSpan.End()
 		res.Retries += retries
 		if err != nil {
@@ -708,6 +852,6 @@ func (c *Client) FetchObject(doc []byte, r htmlrefs.Ref) ([]byte, error) {
 // GetDoc fetches a URL and returns the raw body — the served HTML as a
 // browser would receive it.
 func (c *Client) GetDoc(url string) ([]byte, error) {
-	data, _, err := c.getRetry(url, nil, nil)
+	data, _, err := c.getRetry(context.Background(), url, nil, nil)
 	return data, err
 }

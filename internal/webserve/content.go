@@ -9,37 +9,166 @@
 package webserve
 
 import (
+	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
 
+	"repro/internal/rng"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
-// contentBlock is the repeating unit of an object's synthetic payload.
-const contentBlockSize = 4096
+// Self-verifying payloads: every multimedia object the cluster serves is a
+// pure function of (workload seed, object ID, serving source), with a
+// fixed-width header embedding those coordinates plus a CRC of the body.
+// Any fetched body can therefore be verified against the plan with no
+// side-channel state — the client, the scrubber and the tests all share one
+// end-to-end replication-correctness oracle (ROADMAP item 2's oval-style
+// payloads).
+const (
+	// contentBlockSize is the repeating unit of an object's synthetic body.
+	contentBlockSize = 4096
+	// PayloadHeaderLen is the exact byte length of the payload header line.
+	// The fixed fields take 55 bytes; 96 leaves 40 digits of headroom for
+	// the obj/src/len decimals before the newline terminator.
+	PayloadHeaderLen = 96
+	// RepoSource is the PayloadHeader.Source value of repository-served
+	// payloads; replica copies carry their site index instead.
+	RepoSource = -1
+)
 
-// objectBlock builds the deterministic 4 KiB block for object k: a header
-// naming the object followed by a k-seeded byte pattern, so clients can
-// verify they received the object they asked for without the server storing
-// anything.
-func objectBlock(k workload.ObjectID) []byte {
+// payloadContentStream labels the rng child stream the body keystream is
+// derived from, disjoint from every other stream family in the repo.
+const payloadContentStream uint64 = 421
+
+// PayloadHeader is the decoded form of a payload's leading PayloadHeaderLen bytes.
+type PayloadHeader struct {
+	// Object is the multimedia object the payload claims to be.
+	Object workload.ObjectID
+	// Source identifies who generated the copy: a site index, or
+	// RepoSource for the repository's authoritative copy.
+	Source int
+	// Seed is the workload seed the content was derived from.
+	Seed uint64
+	// Length is the total payload length, header included.
+	Length int64
+	// Sum is the CRC-32 (IEEE) of the body (everything after the header).
+	Sum uint32
+}
+
+// EncodePayloadHeader renders the header as its fixed-width PayloadHeaderLen-byte line.
+func EncodePayloadHeader(h PayloadHeader) []byte {
+	line := fmt.Sprintf("REPL1 obj=%d src=%d seed=%016x len=%d sum=%08x",
+		h.Object, h.Source, h.Seed, h.Length, h.Sum)
+	buf := make([]byte, PayloadHeaderLen)
+	for i := range buf {
+		buf[i] = ' '
+	}
+	copy(buf, line)
+	buf[PayloadHeaderLen-1] = '\n'
+	return buf
+}
+
+// DecodePayloadHeader parses a payload's leading header line. It never
+// panics on arbitrary input; malformed headers return an *IntegrityError.
+func DecodePayloadHeader(data []byte) (PayloadHeader, error) {
+	var h PayloadHeader
+	if len(data) < PayloadHeaderLen {
+		return h, &IntegrityError{Reason: fmt.Sprintf("payload too short for header (%d bytes)", len(data))}
+	}
+	if data[PayloadHeaderLen-1] != '\n' {
+		return h, &IntegrityError{Reason: "payload header not newline-terminated"}
+	}
+	line := bytes.TrimRight(data[:PayloadHeaderLen-1], " ")
+	var obj int
+	n, err := fmt.Sscanf(string(line), "REPL1 obj=%d src=%d seed=%x len=%d sum=%x",
+		&obj, &h.Source, &h.Seed, &h.Length, &h.Sum)
+	if err != nil || n != 5 {
+		return h, &IntegrityError{Reason: fmt.Sprintf("malformed payload header %q", line)}
+	}
+	if obj < 0 || h.Length < PayloadHeaderLen {
+		return h, &IntegrityError{Reason: fmt.Sprintf("payload header out of range (obj=%d len=%d)", obj, h.Length)}
+	}
+	// The fixed width must round-trip: a header whose re-encoding differs
+	// (sign tricks, leading zeros, trailing garbage) is not canonical.
+	h.Object = workload.ObjectID(obj)
+	if !bytes.Equal(EncodePayloadHeader(h), data[:PayloadHeaderLen]) {
+		return h, &IntegrityError{Object: h.Object, Reason: "non-canonical payload header"}
+	}
+	return h, nil
+}
+
+// IntegrityError reports a payload that fails end-to-end verification —
+// wrong object, wrong seed, truncated, or bit-flipped. The client's
+// failureReason classifies it as "corrupt", making verification failures
+// retryable (and fallback-able) like any transient fault.
+type IntegrityError struct {
+	Object workload.ObjectID
+	Reason string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("webserve: object %d integrity: %s", e.Object, e.Reason)
+}
+
+// payloadBlock builds the deterministic body block for (seed, k, src): a
+// SplitMix-derived keystream, so two sources' copies of the same object are
+// distinguishable bytes with identical sizes.
+func payloadBlock(seed uint64, k workload.ObjectID, src int) []byte {
+	s := rng.New(seed).Split(payloadContentStream, uint64(k), uint64(src+1))
 	b := make([]byte, contentBlockSize)
-	header := fmt.Sprintf("MO:%d\n", k)
-	copy(b, header)
-	x := uint32(k)*2654435761 + 12345
-	for i := len(header); i < len(b); i++ {
-		x = x*1664525 + 1013904223
-		b[i] = byte(x >> 24)
+	for i := 0; i < len(b); i += 8 {
+		x := s.Uint64()
+		for j := 0; j < 8; j++ {
+			b[i+j] = byte(x >> (8 * j))
+		}
 	}
 	return b
 }
 
-// ObjectReader streams the synthetic content of object k at its workload
-// size. The reader is cheap: one shared block repeated, truncated at the
-// end.
-func ObjectReader(w *workload.Workload, k workload.ObjectID) io.Reader {
-	return &blockReader{block: objectBlock(k), remaining: int64(w.ObjectSize(k))}
+// bodyCRC computes the CRC-32 of block repeated out to n bytes.
+func bodyCRC(block []byte, n int64) uint32 {
+	h := crc32.NewIEEE()
+	for n > 0 {
+		chunk := block
+		if int64(len(chunk)) > n {
+			chunk = chunk[:n]
+		}
+		_, _ = h.Write(chunk)
+		n -= int64(len(chunk))
+	}
+	return h.Sum32()
+}
+
+// payloadFor assembles object k's header and body block as served by src.
+func payloadFor(w *workload.Workload, src int, k workload.ObjectID) (header, block []byte, bodyLen int64) {
+	total := int64(w.ObjectSize(k))
+	bodyLen = total - PayloadHeaderLen
+	if bodyLen < 0 {
+		bodyLen = 0
+	}
+	block = payloadBlock(w.Seed, k, src)
+	header = EncodePayloadHeader(PayloadHeader{
+		Object: k,
+		Source: src,
+		Seed:   w.Seed,
+		Length: total,
+		Sum:    bodyCRC(block, bodyLen),
+	})
+	if total < PayloadHeaderLen {
+		header = header[:total]
+	}
+	return header, block, bodyLen
+}
+
+// ObjectReader streams the self-verifying content of object k as served by
+// src (a site index, or RepoSource for the repository) at its workload
+// size: the fixed-width header, then the (seed, object, source)-keyed body.
+// The reader is cheap: one block repeated, truncated at the end.
+func ObjectReader(w *workload.Workload, src int, k workload.ObjectID) io.Reader {
+	header, block, bodyLen := payloadFor(w, src, k)
+	return io.MultiReader(bytes.NewReader(header), &blockReader{block: block, remaining: bodyLen})
 }
 
 type blockReader struct {
@@ -70,22 +199,66 @@ func (r *blockReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// VerifyObject checks that data is exactly object k's synthetic content.
+// VerifyObject checks that data is a genuine copy of object k from *some*
+// valid source: size, header coordinates, checksum and every body byte. All
+// failures are *IntegrityError.
 func VerifyObject(w *workload.Workload, k workload.ObjectID, data []byte) error {
-	if got, want := units.ByteSize(len(data)), w.ObjectSize(k); got != want {
-		return fmt.Errorf("webserve: object %d has %d bytes, want %d", k, got, want)
+	_, err := verifyPayload(w, k, data)
+	return err
+}
+
+// VerifyObjectFrom is VerifyObject plus a provenance check: the payload
+// must declare exactly the expected source, so a replica scrub proves the
+// bytes at site src really are site src's copy — not a proxied or stale
+// payload that merely checksums.
+func VerifyObjectFrom(w *workload.Workload, src int, k workload.ObjectID, data []byte) error {
+	h, err := verifyPayload(w, k, data)
+	if err != nil {
+		return err
 	}
-	block := objectBlock(k)
-	for i := 0; i < len(data); i += len(block) {
+	if h.Source != src {
+		return &IntegrityError{Object: k, Reason: fmt.Sprintf("payload claims source %d, want %d", h.Source, src)}
+	}
+	return nil
+}
+
+// verifyPayload is the shared verification core.
+func verifyPayload(w *workload.Workload, k workload.ObjectID, data []byte) (PayloadHeader, error) {
+	var h PayloadHeader
+	if got, want := units.ByteSize(len(data)), w.ObjectSize(k); got != want {
+		return h, &IntegrityError{Object: k, Reason: fmt.Sprintf("%d bytes, want %d", got, want)}
+	}
+	h, err := DecodePayloadHeader(data)
+	if err != nil {
+		return h, err
+	}
+	switch {
+	case h.Object != k:
+		return h, &IntegrityError{Object: k, Reason: fmt.Sprintf("payload claims object %d", h.Object)}
+	case h.Seed != w.Seed:
+		return h, &IntegrityError{Object: k, Reason: fmt.Sprintf("payload seed %x, want %x", h.Seed, w.Seed)}
+	case h.Length != int64(len(data)):
+		return h, &IntegrityError{Object: k, Reason: fmt.Sprintf("payload declares %d bytes, body has %d", h.Length, len(data))}
+	case h.Source != RepoSource && (h.Source < 0 || h.Source >= w.NumSites()):
+		return h, &IntegrityError{Object: k, Reason: fmt.Sprintf("payload claims unknown source %d", h.Source)}
+	}
+	body := data[PayloadHeaderLen:]
+	if bodyCRC(body, int64(len(body))) != h.Sum {
+		return h, &IntegrityError{Object: k, Reason: "body checksum mismatch"}
+	}
+	// The checksum catches bit-flips; the byte compare additionally catches
+	// a forged (sum, body) pair that is not the keystream.
+	block := payloadBlock(w.Seed, k, h.Source)
+	for i := 0; i < len(body); i += len(block) {
 		end := i + len(block)
-		if end > len(data) {
-			end = len(data)
+		if end > len(body) {
+			end = len(body)
 		}
 		for off := i; off < end; off++ {
-			if data[off] != block[off-i] {
-				return fmt.Errorf("webserve: object %d corrupt at byte %d", k, off)
+			if body[off] != block[off-i] {
+				return h, &IntegrityError{Object: k, Reason: fmt.Sprintf("body corrupt at byte %d", off+PayloadHeaderLen)}
 			}
 		}
 	}
-	return nil
+	return h, nil
 }

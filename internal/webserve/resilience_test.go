@@ -1,6 +1,7 @@
 package webserve
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -74,7 +75,7 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 	defer flaky.Close()
 
 	c := NewClientOptions(tinyWorkload(t), quickOpts())
-	data, retries, err := c.getRetry(flaky.URL+"/doc", nil, nil)
+	data, retries, err := c.getRetry(context.Background(), flaky.URL+"/doc", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestClientDoesNotRetry404(t *testing.T) {
 	defer srv.Close()
 
 	c := NewClientOptions(tinyWorkload(t), quickOpts())
-	if _, _, err := c.getRetry(srv.URL+"/mo/0", nil, nil); err == nil {
+	if _, _, err := c.getRetry(context.Background(), srv.URL+"/mo/0", nil, nil); err == nil {
 		t.Fatal("404 did not error")
 	}
 	if calls.Load() != 1 {

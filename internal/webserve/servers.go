@@ -72,7 +72,7 @@ func (r *Repository) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		r.cBytes.Add(int64(r.w.ObjectSize(k)))
 		rw.Header().Set("Content-Type", "application/octet-stream")
 		rw.Header().Set("Content-Length", strconv.FormatInt(int64(r.w.ObjectSize(k)), 10))
-		if _, err := io.Copy(rw, ObjectReader(r.w, k)); err != nil {
+		if _, err := io.Copy(rw, ObjectReader(r.w, RepoSource, k)); err != nil {
 			// The client went away (or a fault cut the connection) —
 			// visible in telemetry instead of silently dropped.
 			r.cWriteErrs.Inc()
@@ -258,7 +258,7 @@ func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		s.cBytes.Add(int64(s.w.ObjectSize(k)))
 		rw.Header().Set("Content-Type", "application/octet-stream")
 		rw.Header().Set("Content-Length", strconv.FormatInt(int64(s.w.ObjectSize(k)), 10))
-		if _, err := io.Copy(rw, ObjectReader(s.w, k)); err != nil {
+		if _, err := io.Copy(rw, ObjectReader(s.w, int(s.site), k)); err != nil {
 			s.cWriteErrs.Inc()
 		}
 		return
@@ -300,6 +300,9 @@ type Cluster struct {
 	siteHandlers []http.Handler    // wrapped handlers, reused on restart
 	siteAddrs    []string          // last bound address per site
 	routes       []workload.SiteID // page -> serving site; nil until ApplyPlan
+	siteInjs     []*faults.Injector
+	curW         *workload.Workload // workload of the last applied plan
+	curP         *model.Placement   // the live placement
 }
 
 // StartCluster listens on ephemeral loopback ports for the repository and
@@ -320,7 +323,7 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 			return nil, err
 		}
 	}
-	c := &Cluster{W: w, start: time.Now(), shutdownTimeout: opts.ShutdownTimeout}
+	c := &Cluster{W: w, start: time.Now(), shutdownTimeout: opts.ShutdownTimeout, curW: w, curP: p}
 	if c.shutdownTimeout <= 0 {
 		c.shutdownTimeout = 5 * time.Second
 	}
@@ -356,7 +359,8 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 		if opts.AccessTap != nil {
 			ls.setTap(opts.AccessTap, func() float64 { return time.Since(c.start).Seconds() })
 		}
-		h := c.buildHandler(ls, opts, opts.Faults.SiteInjector(i), fmt.Sprintf("faults.site.%d.", i), strconv.Itoa(i), clock)
+		inj := opts.Faults.SiteInjector(i)
+		h := c.buildHandler(ls, opts, inj, fmt.Sprintf("faults.site.%d.", i), strconv.Itoa(i), clock)
 		base, srv, err := serve(h)
 		if err != nil {
 			_ = c.Close()
@@ -368,6 +372,7 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 		c.siteSrvs = append(c.siteSrvs, srv)
 		c.siteHandlers = append(c.siteHandlers, h)
 		c.siteAddrs = append(c.siteAddrs, addrOf(base))
+		c.siteInjs = append(c.siteInjs, inj)
 	}
 	return c, nil
 }
@@ -591,8 +596,43 @@ func (c *Cluster) ApplyPlan(w2 *workload.Workload, p *model.Placement) error {
 	}
 	c.mu.Lock()
 	c.routes = routes
+	c.curW = w2
+	c.curP = p
 	c.mu.Unlock()
 	return nil
+}
+
+// CurrentPlan returns the workload and placement the cluster serves right
+// now: the construction pair before any ApplyPlan, the last applied pair
+// after. The scrubber walks exactly this placement — verifying what the
+// plan *currently* claims each site stores.
+func (c *Cluster) CurrentPlan() (*workload.Workload, *model.Placement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curW, c.curP
+}
+
+// ClearRot marks site i's replica of object k repaired in the fault plan's
+// injector — the live-cluster model of an anti-entropy re-write: once the
+// scrubber re-ships the replica, subsequent serves are clean. A no-op
+// without fault injection or for out-of-range sites.
+func (c *Cluster) ClearRot(i int, k workload.ObjectID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i >= 0 && i < len(c.siteInjs) {
+		c.siteInjs[i].ClearRot(int(k))
+	}
+}
+
+// RotRemaining sums the still-rotted replica count across all sites.
+func (c *Cluster) RotRemaining() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, inj := range c.siteInjs {
+		n += inj.RotCount()
+	}
+	return n
 }
 
 // Route returns the site currently serving page j: the routing table's
@@ -634,5 +674,10 @@ func (c *Cluster) Client(opts ClientOptions) *Client {
 	if opts.Trace == nil {
 		opts.Trace = c.Tracer.WithKind(trace.KindClient)
 	}
-	return NewClientOptions(c.W, opts)
+	cl := NewClientOptions(c.W, opts)
+	// Every payload is self-verifying, so cluster clients check end to end
+	// by default: a corrupted body counts as a retryable failure
+	// (retry.corrupt), never as success.
+	cl.Verify = true
+	return cl
 }

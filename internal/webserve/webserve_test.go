@@ -1,6 +1,7 @@
 package webserve
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"sync"
@@ -60,7 +61,7 @@ func TestObjectReaderAndVerify(t *testing.T) {
 	w := tinyWorkload(t)
 	for k := 0; k < 5; k++ {
 		id := workload.ObjectID(k)
-		data, err := io.ReadAll(ObjectReader(w, id))
+		data, err := io.ReadAll(ObjectReader(w, RepoSource, id))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,8 +85,8 @@ func TestObjectReaderAndVerify(t *testing.T) {
 
 func TestObjectsDiffer(t *testing.T) {
 	w := tinyWorkload(t)
-	a, _ := io.ReadAll(ObjectReader(w, 0))
-	b, _ := io.ReadAll(ObjectReader(w, 1))
+	a, _ := io.ReadAll(ObjectReader(w, RepoSource, 0))
+	b, _ := io.ReadAll(ObjectReader(w, RepoSource, 1))
 	if len(a) == len(b) && string(a) == string(b) {
 		t.Error("distinct objects have identical content")
 	}
@@ -259,7 +260,7 @@ func TestOptionalFetch(t *testing.T) {
 		t.Fatalf("client saw %d optional refs, want %d", len(res.OptionalRefs), len(w.Pages[pid].Optional))
 	}
 	// Fetch one optional object through the document's own link.
-	doc, err := client.get(cluster.PageURL(pid), "")
+	doc, err := client.get(context.Background(), cluster.PageURL(pid), "")
 	if err != nil {
 		t.Fatal(err)
 	}

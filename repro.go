@@ -355,6 +355,26 @@ func FlashCrowd(opts ExperimentOptions) (*FlashCrowdResult, error) {
 	return experiments.FlashCrowd(opts)
 }
 
+// Scrub study: the end-to-end integrity layer under gray failure — replica
+// rot, a limping site and a control partition against live clusters, with
+// self-verifying payloads, the anti-entropy scrubber and the latency-aware
+// supervisor closing the loop.
+type (
+	// ScrubResult is the integrity soak's output.
+	ScrubResult = experiments.ScrubResult
+	// ScrubRun is one run's chaos-soak accounting.
+	ScrubRun = experiments.ScrubRun
+)
+
+// Scrub runs the integrity chaos soak: seeded replica rot, a permanently
+// limping site and a control-partitioned site against a live cluster,
+// proving zero undetected integrity violations (every corruption caught at
+// fetch time or within one scrub cycle) with detection and repair accounted
+// per run.
+func Scrub(opts ExperimentOptions) (*ScrubResult, error) {
+	return experiments.Scrub(opts)
+}
+
 // Repair planning: deterministic re-replication plans for a down-set
 // (internal/repair), the machinery behind the self-healing supervisor.
 type (

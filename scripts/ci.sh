@@ -2,7 +2,7 @@
 # ci.sh — the full verification pipeline, tiered into named stages.
 # Everything here must pass before a change lands: formatting, build + vet +
 # the repllint analyzer suite, the complete test suite, the race detector on
-# every package, the chaos / self-healing / adaptive-loop passes under
+# every package, the chaos / self-healing / adaptive-loop / integrity passes under
 # -race, coverage on the planner core, and a single pinned-GOMAXPROCS pass
 # of every benchmark followed by a regression diff against the previous
 # snapshot.
@@ -11,14 +11,14 @@
 #
 #	CI_STAGES="fmt lint test" scripts/ci.sh
 #
-# Stages: fmt lint test race chaos heal adapt cover bench. The default runs
+# Stages: fmt lint test race chaos heal adapt scrub cover bench. The default runs
 # them all, in order, and prints a wall-clock summary at the end (the
 # PR-gate workflow runs each stage as its own named step instead).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-CI_STAGES="${CI_STAGES:-fmt lint test race chaos heal adapt cover bench}"
+CI_STAGES="${CI_STAGES:-fmt lint test race chaos heal adapt scrub cover bench}"
 
 # gofmt with -s: any unformatted file fails the stage.
 stage_fmt() {
@@ -88,6 +88,18 @@ stage_adapt() {
         ./internal/repair/ ./internal/experiments/
 }
 
+# The end-to-end integrity surface under the race detector: the
+# self-verifying payload codec (round-trip, provenance, forged-checksum
+# rejection), the gray-failure modes (rot, limping, partial partitions),
+# checksum-mismatch-is-retryable on the client, hedged requests, the
+# latency-aware supervisor, the scrubber's find/repair/converge loop with
+# its chaos soak, and the scrub study's acceptance + reproducibility pins.
+stage_scrub() {
+    go test -race -count=1 -run 'Payload|Verify|Corrupt|Rot|Limp|Partition|Gray|Hedge|Scrub|Latency' \
+        ./internal/webserve/ ./internal/faults/ ./internal/controller/ \
+        ./internal/experiments/
+}
+
 # Planner-core statement coverage against a floor.
 stage_cover() {
     : "${CI_CORE_COVER_FLOOR:=90}"
@@ -122,9 +134,9 @@ stage_bench() {
 summary=""
 for stage in $CI_STAGES; do
     case "$stage" in
-    fmt | lint | test | race | chaos | heal | adapt | cover | bench) ;;
+    fmt | lint | test | race | chaos | heal | adapt | scrub | cover | bench) ;;
     *)
-        echo "ci.sh: unknown stage \"$stage\" (stages: fmt lint test race chaos heal adapt cover bench)" >&2
+        echo "ci.sh: unknown stage \"$stage\" (stages: fmt lint test race chaos heal adapt scrub cover bench)" >&2
         exit 2
         ;;
     esac
