@@ -8,7 +8,7 @@
 //
 //	replexp -exp table1|fig1|fig2|fig3|equiv|all
 //	        -exp ablation|drift|redirect|sensitivity|threshold
-//	        -exp queueing|period|weights|degraded|critpath|recovery|flashcrowd|scrub
+//	        -exp queueing|period|weights|degraded|critpath|recovery|flashcrowd|scrub|overload
 //	        [-scale paper|quick] [-runs N] [-seed N] [-requests N] [-csv DIR]
 //	        [-progress=false]
 //
@@ -201,11 +201,35 @@ var experiments = []experimentSpec{
 			return res.Write(stdout)
 		},
 	},
+	{
+		name: "overload",
+		run: func(opts repro.ExperimentOptions, stdout io.Writer, csvDir string, plot bool) error {
+			res, err := repro.Overload(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "== Overload: metastable failure and the admission stack ==")
+			if err := res.Write(stdout); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+			if err := res.Timeline.WriteTable(stdout); err != nil {
+				return err
+			}
+			if plot {
+				fmt.Fprintln(stdout)
+				if err := res.Timeline.WritePlot(stdout, 64, 16); err != nil {
+					return err
+				}
+			}
+			return writeCSV(stdout, csvDir, "overload", res.Timeline)
+		},
+	},
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("replexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights, degraded, critpath, recovery, flashcrowd, scrub")
+	exp := fs.String("exp", "all", "experiment: table1, fig1, fig2, fig3, equiv, all, or one of ablation, drift, redirect, sensitivity, threshold, queueing, period, weights, degraded, critpath, recovery, flashcrowd, scrub, overload")
 	scale := fs.String("scale", "paper", "paper (Table-1 volume, 20 runs) or quick")
 	runs := fs.Int("runs", 0, "override the number of runs")
 	seed := fs.Uint64("seed", 0, "override the experiment seed")

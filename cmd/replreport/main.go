@@ -167,6 +167,26 @@ var sections = []section{
 			return err
 		},
 	},
+	{
+		name:      "overload",
+		extension: true,
+		write: func(opts repro.ExperimentOptions, w io.Writer) error {
+			res, err := repro.Overload(opts)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "### Overload: metastable failure and the admission stack\n\n```\n"); err != nil {
+				return err
+			}
+			if err := res.Write(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "```\n\n"); err != nil {
+				return err
+			}
+			return res.Timeline.WriteMarkdown(w)
+		},
+	},
 }
 
 // observabilitySection renders the recorded-trace and journal appendix.

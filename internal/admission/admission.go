@@ -1,0 +1,295 @@
+// Package admission is the serving stack's overload protection. The
+// paper's objective D (Eq. 4/5) assumes stable queues; as utilization
+// approaches capacity the queueing term diverges and a real cluster does
+// not degrade gracefully — it collapses, and naive client retries then
+// hold it collapsed long after the triggering spike ends (a metastable
+// failure). This package supplies both halves of the defense:
+//
+//   - Server side: a bounded, deadline-aware admission queue per endpoint
+//     class, shedding by CoDel-style sojourn time (latency over a target,
+//     not queue length), per-endpoint concurrency limits with an AIMD
+//     auto-tuner, 429 responses with a seeded-jitter Retry-After hint, and
+//     a brownout controller that degrades page fidelity under sustained
+//     shed pressure before the server refuses outright.
+//
+//   - Client side: a token-bucket retry budget — earn a fraction of a
+//     token per success, spend one per retry — capping cluster-wide retry
+//     amplification near (1 + earn ratio)× offered load no matter how hard
+//     the servers push back.
+//
+// Every control law here is clock-agnostic: state machines take explicit
+// `now` values instead of reading the wall clock, so the identical code
+// runs under real time in internal/webserve and under a virtual clock in
+// the bit-reproducible experiments.Overload study.
+package admission
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HTTP header vocabulary shared between client and servers.
+const (
+	// DeadlineHeader carries the client's absolute end-to-end deadline as
+	// Unix nanoseconds. Client and servers share a machine (loopback
+	// cluster), so one clock domain suffices; a server uses it to shed
+	// work that is already doomed to miss its deadline instead of serving
+	// a response nobody will wait for.
+	DeadlineHeader = "X-Repl-Deadline"
+	// RetryAfterMillisHeader is the jittered retry hint at millisecond
+	// precision. The standard Retry-After header is whole seconds — far
+	// too coarse for loopback timescales — so servers send both and the
+	// client prefers this one.
+	RetryAfterMillisHeader = "X-Repl-Retry-After-Ms"
+	// BrownoutHeader reports the fidelity tier a page was served at
+	// (absent or 0 = full fidelity; see Brownout).
+	BrownoutHeader = "X-Repl-Brownout"
+)
+
+// FormatDeadline renders an absolute deadline for DeadlineHeader.
+func FormatDeadline(t time.Time) string {
+	return strconv.FormatInt(t.UnixNano(), 10)
+}
+
+// ParseDeadline parses a DeadlineHeader value; ok is false for absent or
+// malformed values.
+func ParseDeadline(s string) (time.Time, bool) {
+	if s == "" {
+		return time.Time{}, false
+	}
+	ns, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// Config tunes one server's admission control. The zero value of each
+// field selects the default noted on it.
+type Config struct {
+	// Target is the CoDel sojourn target: queueing delay persistently
+	// above it sheds load. Default 5ms — far above a healthy loopback
+	// handler, far below any client deadline worth honoring.
+	Target time.Duration
+	// Interval is the CoDel control interval (how long sojourn must stay
+	// above Target before shedding starts, and the base spacing of
+	// subsequent sheds). Default 100ms.
+	Interval time.Duration
+	// InitialLimit is each endpoint's starting concurrency limit (default
+	// 32); the AIMD tuner moves it within [MinLimit, MaxLimit] (defaults
+	// 4 and 256) — halving on shed pressure, adding one per clean
+	// interval.
+	InitialLimit int
+	MinLimit     int
+	MaxLimit     int
+	// MaxQueue bounds each endpoint's wait queue; arrivals beyond it are
+	// shed instantly (the queue bound is the backstop — CoDel should act
+	// first). Default 128.
+	MaxQueue int
+	// RetryAfter is the nominal retry hint sent with a 429; the actual
+	// value is jittered in [d, 3d/2) on a seeded stream so a fleet of
+	// budgeted clients does not return in lockstep. Default 50ms.
+	RetryAfter time.Duration
+	// Seed seeds the Retry-After jitter stream.
+	Seed uint64
+	// BrownoutUp / BrownoutDown are the shed-rate thresholds (fraction of
+	// decisions in a BrownoutWindow that were sheds) for raising and
+	// lowering the degradation tier. Defaults 0.10 and 0.01.
+	BrownoutUp   float64
+	BrownoutDown float64
+	// BrownoutWindow is the shed-rate observation window (default 500ms).
+	BrownoutWindow time.Duration
+}
+
+// normalize resolves zero fields to the documented defaults.
+func (c Config) normalize() Config {
+	if c.Target <= 0 {
+		c.Target = 5 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.InitialLimit <= 0 {
+		c.InitialLimit = 32
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 4
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 256
+	}
+	if c.InitialLimit < c.MinLimit {
+		c.InitialLimit = c.MinLimit
+	}
+	if c.MaxLimit < c.InitialLimit {
+		c.MaxLimit = c.InitialLimit
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 128
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 50 * time.Millisecond
+	}
+	if c.BrownoutUp <= 0 {
+		c.BrownoutUp = 0.10
+	}
+	if c.BrownoutDown <= 0 {
+		c.BrownoutDown = 0.01
+	}
+	if c.BrownoutWindow <= 0 {
+		c.BrownoutWindow = 500 * time.Millisecond
+	}
+	return c
+}
+
+// CoDel is the Controlled-Delay shedding law on queue sojourn times,
+// adapted from Nichols & Jacobson: shedding starts only after sojourn has
+// stayed above Target for a full Interval (a standing queue, not a burst),
+// and while it persists, sheds are spaced Interval/√count apart — gentle
+// pressure that tightens the longer the overload lasts. All methods take
+// explicit `now` values (any monotone origin); the caller serializes
+// access.
+type CoDel struct {
+	Target   time.Duration
+	Interval time.Duration
+
+	firstAbove time.Duration // when sojourn first exceeded Target
+	haveFirst  bool
+	dropping   bool
+	dropNext   time.Duration
+	count      int
+}
+
+// NewCoDel builds the law with explicit parameters.
+func NewCoDel(target, interval time.Duration) *CoDel {
+	return &CoDel{Target: target, Interval: interval}
+}
+
+// Dropping reports whether the law is currently in its shedding state.
+func (c *CoDel) Dropping() bool { return c.dropping }
+
+// OnDequeue observes one request's queue sojourn at dequeue time and
+// reports whether to shed it.
+func (c *CoDel) OnDequeue(sojourn, now time.Duration) bool {
+	if sojourn < c.Target {
+		// Below target: the standing queue is gone; disarm.
+		c.haveFirst = false
+		c.dropping = false
+		c.count = 0
+		return false
+	}
+	if !c.haveFirst {
+		c.haveFirst = true
+		c.firstAbove = now + c.Interval
+		return false
+	}
+	if !c.dropping {
+		if now < c.firstAbove {
+			return false
+		}
+		// Sojourn has been above target for a full interval: start
+		// shedding.
+		c.dropping = true
+		c.count = 1
+		c.dropNext = now + c.nextGap()
+		return true
+	}
+	if now < c.dropNext {
+		return false
+	}
+	c.count++
+	c.dropNext = now + c.nextGap()
+	return true
+}
+
+// nextGap is the Interval/√count control law: the longer the overload
+// persists, the closer together the sheds. count is the sheds so far, so
+// the upcoming (count+1-th) shed is Interval/√(count+1) away.
+func (c *CoDel) nextGap() time.Duration {
+	return time.Duration(float64(c.Interval) / sqrtf(float64(c.count+1)))
+}
+
+// sqrtf is Newton's method on float64 — enough precision for a shed
+// spacing, and keeps the hot path free of math imports.
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	g := x
+	for i := 0; i < 20; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}
+
+// RetryBudget is the client-side token bucket that caps retry
+// amplification: every success earns `ratio` tokens (capped at `max`),
+// every retry spends one. With ratio r, total retries can never exceed
+// r × successes plus the initial fill, so cluster-wide offered load stays
+// within about (1+r)× the original request rate no matter how many
+// requests fail — the property that breaks retry storms. The bucket
+// starts full (a cold client may retry), and a nil *RetryBudget disables
+// budgeting (Spend always allows).
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	max    float64
+}
+
+// NewRetryBudget builds a budget earning `ratio` tokens per success with
+// bucket capacity `max`. Non-positive arguments select the defaults 0.1
+// and 10.
+func NewRetryBudget(ratio, max float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if max <= 0 {
+		max = 10
+	}
+	return &RetryBudget{tokens: max, ratio: ratio, max: max}
+}
+
+// Earn credits one success.
+func (b *RetryBudget) Earn() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Spend consumes one retry token, reporting whether the retry may proceed.
+// A nil budget always allows.
+func (b *RetryBudget) Spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The epsilon forgives float accumulation: ten 0.1-earns sum to just
+	// under 1.0, and that token was genuinely earned.
+	if b.tokens < 1-1e-9 {
+		return false
+	}
+	b.tokens--
+	if b.tokens < 0 {
+		b.tokens = 0
+	}
+	return true
+}
+
+// Tokens returns the current balance (diagnostics and tests).
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -152,6 +152,7 @@ type Supervisor struct {
 	lastErr     error
 
 	cProbes, cProbeFails, cRepairs, cRecoveries, cTransitions *telemetry.Counter
+	cProbesShed                                               *telemetry.Counter
 	gDown                                                     *telemetry.Gauge
 
 	stop chan struct{}
@@ -178,6 +179,7 @@ func New(env *model.Env, p *model.Placement, cluster *webserve.Cluster, opts Opt
 	if reg := opts.Metrics; reg != nil {
 		s.cProbes = reg.Counter("controller.probes")
 		s.cProbeFails = reg.Counter("controller.probe_failures")
+		s.cProbesShed = reg.Counter("controller.probes_shed")
 		s.cRepairs = reg.Counter("controller.repairs")
 		s.cRecoveries = reg.Counter("controller.recoveries")
 		s.cTransitions = reg.Counter("controller.transitions")
@@ -249,6 +251,14 @@ func (s *Supervisor) probeSite(i int) (bool, time.Duration) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
 	rtt := time.Since(t0)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// An admission shed is a live server policing its queue, not a
+		// failure. Treating it as one would have the supervisor kill-and-
+		// repair exactly the overloaded sites — the feedback loop that turns
+		// a flash crowd into an outage.
+		s.cProbesShed.Inc()
+		return true, rtt
+	}
 	if resp.StatusCode != http.StatusOK {
 		s.cProbeFails.Inc()
 		return false, 0

@@ -1,0 +1,536 @@
+package experiments
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Overload scenario constants. The arithmetic is the study: the server's
+// capacity is OverloadCapacity req/s, the base open-loop arrival rate is
+// 0.6× capacity, and a 2-second flash crowd (a faults.LoadSpike) multiplies
+// arrivals by 10×. Without protections every timed-out request respawns as
+// OverloadRetries retries, so the post-spike effective load is
+// base·(1+R) = 360 req/s > capacity — the system stays collapsed although
+// the offered load (120 req/s) is comfortably below capacity. That is the
+// metastable failure. With admission control, retry budgets and deadline
+// propagation on, the backlog is bounded by the queue (MaxQueue·service =
+// one drain window) and the budget caps amplification, so recovery is fast
+// and structural.
+const (
+	// OverloadCapacity is the server's service rate in requests/second.
+	OverloadCapacity = 200.0
+	// OverloadBaseRate is the open-loop base arrival rate (0.6× capacity).
+	OverloadBaseRate = 120.0
+	// OverloadSpikeFactor multiplies arrivals during the flash crowd.
+	OverloadSpikeFactor = 10.0
+	// OverloadRetries is the unprotected client's retry count per request.
+	OverloadRetries = 2
+	// OverloadMaxQueue bounds the protected server's admission queue; with
+	// 5 ms service that is a 250 ms drain window.
+	OverloadMaxQueue = 50
+	// OverloadBudgetRatio / OverloadBudgetCap parameterize the shared retry
+	// budget: 0.1 token earned per success caps steady-state amplification
+	// at ~1.1× offered load.
+	OverloadBudgetRatio = 0.1
+	OverloadBudgetCap   = 10.0
+)
+
+// Overload timing (all on the virtual clock — the sim never reads wall
+// time, which is what makes the study bit-reproducible per seed).
+var (
+	OverloadDuration   = 30 * time.Second
+	OverloadSpikeStart = 5 * time.Second
+	OverloadSpikeEnd   = 7 * time.Second
+	// OverloadService is one request's service time (1/capacity).
+	OverloadService = 5 * time.Millisecond
+	// OverloadDeadline is each attempt's end-to-end client deadline,
+	// propagated to the server in the protected pass.
+	OverloadDeadline = 500 * time.Millisecond
+	// OverloadBackoff is the client's base retry backoff (doubled per
+	// attempt, jittered in [d/2, d)).
+	OverloadBackoff = 50 * time.Millisecond
+	// OverloadRetryAfter is the protected server's nominal shed hint,
+	// jittered in [d, 3d/2) exactly like the live admission layer.
+	OverloadRetryAfter = 50 * time.Millisecond
+	// OverloadCoDelTarget / OverloadCoDelInterval drive the sojourn law.
+	OverloadCoDelTarget   = 5 * time.Millisecond
+	OverloadCoDelInterval = 100 * time.Millisecond
+	// OverloadSettle is how long after the spike the off pass is given
+	// before its steady-state goodput is measured — generous, so the
+	// collapse verdict measures the metastable equilibrium, not the tail of
+	// the spike itself.
+	OverloadSettle = 3 * time.Second
+)
+
+// stream labels for the overload study's derivations (disjoint from the
+// runner's 101+, the client's 401+, the flash crowd's 601+, the scrub
+// study's 701+ and the admission server's 801).
+const (
+	overloadArrivalStream uint64 = iota + 811
+	overloadClientStream
+	overloadShedStream
+)
+
+// OverloadPass is one pass's accounting (protections off or on).
+type OverloadPass struct {
+	// Requests counts new page requests; Attempts includes every retry.
+	Requests int
+	Attempts int
+	// Amplification is Attempts/Requests — the retry storm factor.
+	Amplification float64
+	// Goodput counts responses delivered within their deadline; Failures
+	// counts requests abandoned after exhausting retries (or budget).
+	Goodput  int
+	Failures int
+	// Sheds counts 429s (queue bound, sojourn law, doomed deadline).
+	Sheds int
+	// DeadlineServed counts responses the server completed after the
+	// client's deadline — pure wasted work. Deadline propagation makes this
+	// structurally zero in the protected pass.
+	DeadlineServed int
+	// PeakQueue is the deepest the server queue ever got.
+	PeakQueue int
+	// PostSpikeGoodput is the mean goodput rate (req/s) from
+	// SpikeEnd+Settle to the end of the run — the steady state the system
+	// landed in after the crowd left.
+	PostSpikeGoodput float64
+	// RecoverMs is how long after the spike ended the trailing-1s goodput
+	// first reached 95% of the base offered rate; -1 = never within the
+	// run. The protected bound is one drain window (MaxQueue·service).
+	RecoverMs int64
+	// GoodputPerSec is the per-second goodput timeline (len =
+	// Duration/1s), the figure's raw series.
+	GoodputPerSec []int
+}
+
+// OverloadRun is one run: the same seeded arrival process played twice,
+// once with every protection off and once with the full admission stack
+// on.
+type OverloadRun struct {
+	Run int
+	Off OverloadPass
+	On  OverloadPass
+}
+
+// OverloadResult is the study's output: per-run accounting plus the
+// goodput-over-time figure that makes the metastable collapse visible.
+type OverloadResult struct {
+	Runs     []OverloadRun
+	Timeline *stats.Figure
+}
+
+// DrainWindow is the protected recovery bound: the time to serve a full
+// admission queue.
+func DrainWindow() time.Duration {
+	return time.Duration(OverloadMaxQueue) * OverloadService
+}
+
+// Overload runs the metastable-failure study: an open-loop arrival ramp
+// (base rate, 10× flash crowd, base rate again) against a single server,
+// as a pure event-driven simulation on a virtual clock. The "off" pass has
+// an unbounded FIFO queue, no deadline propagation and unbudgeted retries:
+// after the crowd leaves, timed-out requests keep respawning retries and
+// the effective load stays above capacity — goodput pins near zero for the
+// rest of the run even though offered load is 60% of capacity. The "on"
+// pass runs the same admission laws the live cluster uses (the CoDel
+// sojourn law, the bounded queue, deadline drops at dequeue, the shared
+// retry budget, jittered Retry-After honoring) and recovers within one
+// drain window. Both passes consume disjoint Split streams of the run
+// seed, so the whole result — tables and figure — is bit-reproducible.
+func Overload(opts Options) (*OverloadResult, error) {
+	if opts.Runs <= 0 {
+		return nil, fmt.Errorf("experiments: Runs must be positive, got %d", opts.Runs)
+	}
+	runs := make([]OverloadRun, opts.Runs)
+	workers := opts.workers()
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for r := 0; r < opts.Runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			root := rng.New(opts.Seed)
+			off := simOverload(root, r, false)
+			on := simOverload(root, r, true)
+			runs[r] = OverloadRun{Run: r, Off: off, On: on}
+			opts.progressf("overload run %d: off — post-spike %.0f req/s (recover %dms, amp %.2f); on — post-spike %.0f req/s (recover %dms, amp %.2f, sheds %d, deadline-served %d)",
+				r, off.PostSpikeGoodput, off.RecoverMs, off.Amplification,
+				on.PostSpikeGoodput, on.RecoverMs, on.Amplification, on.Sheds, on.DeadlineServed)
+		}(r)
+	}
+	wg.Wait()
+
+	// Feed the collector in run order so the figure is deterministic at any
+	// worker count.
+	col := newCollector()
+	for _, run := range runs {
+		for s, g := range run.Off.GoodputPerSec {
+			col.add("Protections off", float64(s), float64(g))
+		}
+		for s, g := range run.On.GoodputPerSec {
+			col.add("Protections on", float64(s), float64(g))
+		}
+	}
+	fig := col.figure("Overload: goodput through a 10x flash crowd",
+		"seconds", []string{"Protections off", "Protections on"})
+	fig.YLabel = "goodput (requests/s served within deadline)"
+	return &OverloadResult{Runs: runs, Timeline: fig}, nil
+}
+
+// simEvent kinds, processed in (time, seq) order.
+const (
+	evArrivalGen = iota // draw the next new request
+	evAttempt           // one attempt reaches the server
+	evDone              // the server finished serving
+	evTimeout           // the client's deadline lapsed
+)
+
+// simReq is one request attempt's state.
+type simReq struct {
+	id       int // request identity (stable across retries)
+	attempt  int // 0 = first try
+	issued   time.Duration
+	deadline time.Duration
+	enq      time.Duration
+	// responded: the server answered (success or shed) before the client
+	// timed out; the timeout event then does nothing.
+	responded bool
+	// abandoned: the client timed out; a later completion is wasted work.
+	abandoned bool
+}
+
+// simEvent is one heap entry.
+type simEvent struct {
+	t    time.Duration
+	seq  int
+	kind int
+	req  *simReq
+}
+
+// eventHeap orders events by (time, insertion sequence) — a total,
+// deterministic order.
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*simEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// overloadSim is one pass's world state.
+type overloadSim struct {
+	protected bool
+	events    eventHeap
+	seq       int
+	queue     []*simReq
+	busy      bool
+	codel     *admission.CoDel
+	budget    *admission.RetryBudget // nil in the off pass (Spend → true)
+	arrivals  *rng.Stream
+	jitter    *rng.Stream
+	shed      *rng.Stream
+	plan      *faults.Plan
+	pass      OverloadPass
+	nextID    int
+	// goodTimes records each within-deadline completion instant for the
+	// trailing-window recovery scan.
+	goodTimes []time.Duration
+}
+
+// simOverload plays one pass of the arrival ramp for run r.
+func simOverload(root *rng.Stream, r int, protected bool) OverloadPass {
+	mode := uint64(0)
+	if protected {
+		mode = 1
+	}
+	s := &overloadSim{
+		protected: protected,
+		arrivals:  root.Split(overloadArrivalStream, uint64(r), mode),
+		jitter:    root.Split(overloadClientStream, uint64(r), mode),
+		shed:      root.Split(overloadShedStream, uint64(r), mode),
+		plan: &faults.Plan{LoadSpikes: []faults.LoadSpike{{
+			Window: faults.Window{Start: OverloadSpikeStart, End: OverloadSpikeEnd},
+			Factor: OverloadSpikeFactor,
+		}}},
+	}
+	if protected {
+		s.codel = admission.NewCoDel(OverloadCoDelTarget, OverloadCoDelInterval)
+		s.budget = admission.NewRetryBudget(OverloadBudgetRatio, OverloadBudgetCap)
+	}
+	s.schedule(0, evArrivalGen, nil)
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*simEvent)
+		if ev.t >= OverloadDuration {
+			break
+		}
+		switch ev.kind {
+		case evArrivalGen:
+			s.newRequest(ev.t)
+		case evAttempt:
+			s.arrive(ev.t, ev.req)
+		case evDone:
+			s.complete(ev.t, ev.req)
+		case evTimeout:
+			s.timeout(ev.t, ev.req)
+		}
+	}
+	s.finish()
+	return s.pass
+}
+
+// schedule pushes an event at t.
+func (s *overloadSim) schedule(t time.Duration, kind int, req *simReq) {
+	s.seq++
+	heap.Push(&s.events, &simEvent{t: t, seq: s.seq, kind: kind, req: req})
+}
+
+// newRequest issues a fresh request at t and draws the next arrival from
+// the current (possibly spiked) rate.
+func (s *overloadSim) newRequest(t time.Duration) {
+	s.pass.Requests++
+	s.nextID++
+	req := &simReq{id: s.nextID, issued: t, deadline: t + OverloadDeadline}
+	s.schedule(t, evAttempt, req)
+
+	rate := s.plan.RateAt(OverloadBaseRate, t)
+	u := s.arrivals.Float64()
+	gap := time.Duration(-math.Log(1-u) / rate * float64(time.Second))
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	if next := t + gap; next < OverloadDuration {
+		s.schedule(next, evArrivalGen, nil)
+	}
+}
+
+// arrive lands one attempt at the server.
+func (s *overloadSim) arrive(t time.Duration, req *simReq) {
+	s.pass.Attempts++
+	if s.protected && len(s.queue) >= OverloadMaxQueue {
+		s.pass.Sheds++
+		s.respondShed(t, req)
+		return
+	}
+	req.enq = t
+	s.queue = append(s.queue, req)
+	if len(s.queue) > s.pass.PeakQueue {
+		s.pass.PeakQueue = len(s.queue)
+	}
+	s.schedule(req.deadline, evTimeout, req)
+	if !s.busy {
+		s.startNext(t)
+	}
+}
+
+// startNext dequeues until a servable request is found, applying the
+// protected pass's sojourn and deadline drops.
+func (s *overloadSim) startNext(t time.Duration) {
+	for len(s.queue) > 0 {
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		if s.protected {
+			if s.codel.OnDequeue(t-req.enq, t) {
+				s.pass.Sheds++
+				if !req.abandoned {
+					s.respondShed(t, req)
+				}
+				continue
+			}
+			if t+OverloadService > req.deadline {
+				// Deadline propagation: the header says this work is doomed
+				// — shed it instead of serving bytes nobody will wait for.
+				s.pass.Sheds++
+				if !req.abandoned {
+					s.respondShed(t, req)
+				}
+				continue
+			}
+		}
+		s.busy = true
+		s.schedule(t+OverloadService, evDone, req)
+		return
+	}
+	s.busy = false
+}
+
+// complete finishes serving a request at t.
+func (s *overloadSim) complete(t time.Duration, req *simReq) {
+	s.busy = false
+	if !req.abandoned && t <= req.deadline {
+		req.responded = true
+		s.pass.Goodput++
+		s.goodTimes = append(s.goodTimes, t)
+		s.budget.Earn()
+	} else {
+		// The client is long gone: the server burned a service slot on a
+		// response nobody received.
+		s.pass.DeadlineServed++
+	}
+	s.startNext(t)
+}
+
+// timeout fires at the client's deadline: if the server has not answered,
+// the client abandons the attempt and consults its retry policy.
+func (s *overloadSim) timeout(t time.Duration, req *simReq) {
+	if req.responded || req.abandoned {
+		return
+	}
+	req.abandoned = true
+	s.retry(t, req, 0)
+}
+
+// respondShed delivers a 429 at t with the jittered Retry-After hint; the
+// client retries no sooner than the hint.
+func (s *overloadSim) respondShed(t time.Duration, req *simReq) {
+	req.responded = true
+	hint := OverloadRetryAfter + time.Duration(s.shed.Uniform(0, float64(OverloadRetryAfter/2)))
+	s.retry(t, req, hint)
+}
+
+// retry re-issues a failed request after max(backoff, hint), spending from
+// the shared budget in the protected pass. Exhausted attempts or an empty
+// budget end the request as a failure.
+func (s *overloadSim) retry(t time.Duration, req *simReq, hint time.Duration) {
+	if req.attempt >= OverloadRetries {
+		s.pass.Failures++
+		return
+	}
+	if !s.budget.Spend() {
+		s.pass.Failures++
+		return
+	}
+	d := OverloadBackoff << uint(req.attempt)
+	wait := d/2 + time.Duration(s.jitter.Uniform(0, float64(d/2)))
+	if hint > wait {
+		wait = hint
+	}
+	issue := t + wait
+	if issue >= OverloadDuration {
+		s.pass.Failures++
+		return
+	}
+	next := &simReq{id: req.id, attempt: req.attempt + 1, issued: issue, deadline: issue + OverloadDeadline}
+	s.schedule(issue, evAttempt, next)
+}
+
+// finish derives the pass's summary statistics from the completion record.
+func (s *overloadSim) finish() {
+	p := &s.pass
+	if p.Requests > 0 {
+		p.Amplification = float64(p.Attempts) / float64(p.Requests)
+	}
+	secs := int(OverloadDuration / time.Second)
+	p.GoodputPerSec = make([]int, secs)
+	for _, ct := range s.goodTimes {
+		if b := int(ct / time.Second); b < secs {
+			p.GoodputPerSec[b]++
+		}
+	}
+	// Steady state after the crowd left.
+	from := OverloadSpikeEnd + OverloadSettle
+	span := OverloadDuration - from
+	n := 0
+	for _, ct := range s.goodTimes {
+		if ct >= from {
+			n++
+		}
+	}
+	p.PostSpikeGoodput = float64(n) / span.Seconds()
+	// Recovery: first 100ms-aligned instant after the spike whose trailing
+	// 1s window reaches 95% of the base offered rate.
+	p.RecoverMs = -1
+	want := int(0.95 * OverloadBaseRate)
+	for at := OverloadSpikeEnd; at+time.Second <= OverloadDuration; at += 100 * time.Millisecond {
+		n := 0
+		for _, ct := range s.goodTimes {
+			if ct >= at && ct < at+time.Second {
+				n++
+			}
+		}
+		if n >= want {
+			p.RecoverMs = (at - OverloadSpikeEnd).Milliseconds()
+			break
+		}
+	}
+}
+
+// Clean reports whether every run met the acceptance bar: the unprotected
+// pass stays collapsed after the spike (goodput < 20% of capacity), the
+// protected pass recovers within one drain window, caps retry
+// amplification at 1.1×, and never serves a deadline-expired response.
+func (r *OverloadResult) Clean() bool {
+	for _, run := range r.Runs {
+		if run.Off.PostSpikeGoodput >= 0.2*OverloadCapacity {
+			return false
+		}
+		if run.On.RecoverMs < 0 || run.On.RecoverMs > DrainWindow().Milliseconds() {
+			return false
+		}
+		if run.On.Amplification > 1.1 {
+			return false
+		}
+		if run.On.DeadlineServed != 0 {
+			return false
+		}
+	}
+	return len(r.Runs) > 0
+}
+
+// Write renders the per-run table and the acceptance summary.
+func (r *OverloadResult) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-4s %-5s %-9s %-9s %-6s %-8s %-10s %-11s %-9s %s\n",
+		"run", "pass", "requests", "goodput", "amp", "sheds", "deadsrvd", "post-spike", "recover", "peakq"); err != nil {
+		return err
+	}
+	row := func(run int, name string, p *OverloadPass) error {
+		rec := "never"
+		if p.RecoverMs >= 0 {
+			rec = fmt.Sprintf("%dms", p.RecoverMs)
+		}
+		_, err := fmt.Fprintf(w, "%-4d %-5s %-9d %-9d %-6.2f %-8d %-10d %-11.0f %-9s %d\n",
+			run, name, p.Requests, p.Goodput, p.Amplification, p.Sheds,
+			p.DeadlineServed, p.PostSpikeGoodput, rec, p.PeakQueue)
+		return err
+	}
+	for _, run := range r.Runs {
+		if err := row(run.Run, "off", &run.Off); err != nil {
+			return err
+		}
+		if err := row(run.Run, "on", &run.On); err != nil {
+			return err
+		}
+	}
+	verdict := "FAILED"
+	if r.Clean() {
+		verdict = "ok"
+	}
+	_, err := fmt.Fprintf(w, "overload study: %s — unprotected pass metastably collapsed after the spike; protections recovered within %v at ≤1.1x amplification with zero deadline-expired responses\n",
+		verdict, DrainWindow())
+	return err
+}

@@ -138,6 +138,20 @@ type Plan struct {
 	Seed  uint64 `json:"seed"`
 	Repo  Spec   `json:"repo"`
 	Sites []Spec `json:"sites"`
+	// LoadSpikes are demand-side fault windows: while elapsed time is inside
+	// a spike, the offered arrival rate of any load generator consulting
+	// RateAt is multiplied by Factor. A flash crowd is a fault of the
+	// environment, not of a server, so it lives in the plan next to the
+	// supply-side windows — same clock, same JSON round-trip, same
+	// reproducibility.
+	LoadSpikes []LoadSpike `json:"load_spikes,omitempty"`
+}
+
+// LoadSpike is one demand surge: the window it occupies on the plan clock
+// and the multiplicative factor it applies to the base arrival rate.
+type LoadSpike struct {
+	Window
+	Factor float64 `json:"factor"`
 }
 
 // Validate rejects unusable plans.
@@ -150,7 +164,31 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("site %d: %w", i, err)
 		}
 	}
+	for i, sp := range p.LoadSpikes {
+		if sp.End <= sp.Start {
+			return fmt.Errorf("load spike %d: empty window [%v, %v)", i, sp.Start, sp.End)
+		}
+		if sp.Factor <= 0 {
+			return fmt.Errorf("load spike %d: factor %v must be positive", i, sp.Factor)
+		}
+	}
 	return nil
+}
+
+// RateAt returns the offered arrival rate at elapsed time on the plan
+// clock: base multiplied by every containing spike's factor (overlapping
+// spikes compound). Nil-tolerant — a nil plan never spikes.
+func (p *Plan) RateAt(base float64, elapsed time.Duration) float64 {
+	if p == nil {
+		return base
+	}
+	rate := base
+	for _, sp := range p.LoadSpikes {
+		if sp.Contains(elapsed) {
+			rate *= sp.Factor
+		}
+	}
+	return rate
 }
 
 // Encode renders the plan as canonical (indented, key-ordered) JSON. Two
@@ -180,6 +218,9 @@ func Decode(data []byte) (*Plan, error) {
 func (p *Plan) normalize() {
 	if len(p.Sites) == 0 {
 		p.Sites = nil
+	}
+	if len(p.LoadSpikes) == 0 {
+		p.LoadSpikes = nil
 	}
 	p.Repo.normalize()
 	for i := range p.Sites {

@@ -157,3 +157,70 @@ func TestNilPlanIsQuiet(t *testing.T) {
 		t.Fatal("out-of-range site not quiet")
 	}
 }
+
+// TestLoadSpikeRateAt pins the demand-side fault arithmetic: outside every
+// spike window RateAt is the base rate, inside one it is multiplied by the
+// factor, and overlapping spikes compound. A nil plan is the identity.
+func TestLoadSpikeRateAt(t *testing.T) {
+	p := &Plan{LoadSpikes: []LoadSpike{
+		{Window: Window{Start: 1 * time.Second, End: 3 * time.Second}, Factor: 10},
+		{Window: Window{Start: 2 * time.Second, End: 4 * time.Second}, Factor: 2},
+	}}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 100},
+		{1 * time.Second, 1000},         // window start is inclusive
+		{2500 * time.Millisecond, 2000}, // overlap compounds
+		{3 * time.Second, 200},          // window end is exclusive
+		{3500 * time.Millisecond, 200},
+		{4 * time.Second, 100},
+	}
+	for _, c := range cases {
+		if got := p.RateAt(100, c.at); got != c.want {
+			t.Errorf("RateAt(100, %v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	var nilPlan *Plan
+	if got := nilPlan.RateAt(100, time.Second); got != 100 {
+		t.Errorf("nil plan RateAt = %v, want base", got)
+	}
+}
+
+// TestLoadSpikeValidateAndRoundTrip: bad windows and non-positive factors
+// are rejected; a valid spike survives the canonical JSON round trip.
+func TestLoadSpikeValidateAndRoundTrip(t *testing.T) {
+	bad := []Plan{
+		{LoadSpikes: []LoadSpike{{Window: Window{Start: 2 * time.Second, End: time.Second}, Factor: 2}}},
+		{LoadSpikes: []LoadSpike{{Window: Window{Start: 0, End: time.Second}, Factor: 0}}},
+		{LoadSpikes: []LoadSpike{{Window: Window{Start: 0, End: time.Second}, Factor: -1}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("bad spike plan %d validated", i)
+		}
+	}
+
+	p := &Plan{Seed: 7, Sites: []Spec{{}}, LoadSpikes: []LoadSpike{
+		{Window: Window{Start: 5 * time.Second, End: 7 * time.Second}, Factor: 10},
+	}}
+	enc, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("spike plan not canonical:\n%s\nvs\n%s", enc, enc2)
+	}
+	if got := q.RateAt(120, 6*time.Second); got != 1200 {
+		t.Errorf("decoded plan RateAt = %v, want 1200", got)
+	}
+}

@@ -68,7 +68,16 @@ func Middleware(inj *Injector, clock func() time.Duration, m Metrics, next http.
 		if d.Delay > 0 {
 			m.Delayed.Inc()
 			m.record("delay")
-			time.Sleep(d.Delay) //repllint:allow determinism — injected latency is a real wall-clock delay by design
+			// Sleep the injected latency, but stop the moment the client
+			// gives up — a vanished caller must release the connection (and
+			// any admission slot held around this middleware) immediately.
+			t := time.NewTimer(d.Delay) //repllint:allow determinism — injected latency is a real wall-clock delay by design
+			select {
+			case <-t.C:
+			case <-req.Context().Done():
+				t.Stop()
+				panic(http.ErrAbortHandler)
+			}
 		}
 		switch d.Action {
 		case Fail:

@@ -19,6 +19,15 @@ type PageEntry struct {
 	Doc   []byte
 	Refs  []Ref
 	Local []bool // parallel to Refs: serve from the local server?
+	// Weight is each reference's access weight (parallel to Refs):
+	// compulsory objects are always needed (weight 1), optional ones carry
+	// the workload's per-link access probability — the paper's per-object
+	// access weights, which brownout uses to drop the least-valuable
+	// content first.
+	Weight []float64
+	// optMedian is the median optional-reference weight, the tier-1
+	// brownout threshold (0 when the page has no optional references).
+	optMedian float64
 }
 
 // RefDB is one local server's reference database. It is built by parsing
@@ -44,6 +53,7 @@ func BuildRefDB(w *workload.Workload, i workload.SiteID, p *model.Placement, rep
 		if err := validateRefs(w, pid, refs); err != nil {
 			return nil, err
 		}
+		setWeights(w, pid, entry)
 		db.entries[pid] = entry
 	}
 	if err := db.ApplyPlacement(w, p); err != nil {
@@ -143,12 +153,39 @@ func (db *RefDB) Rebuild(w *workload.Workload, p *model.Placement, repoBase stri
 		if err := applyEntry(w, pid, entry, p); err != nil {
 			return err
 		}
+		setWeights(w, pid, entry)
 		entries[pid] = entry
 	}
 	db.mu.Lock()
 	db.entries = entries
 	db.mu.Unlock()
 	return nil
+}
+
+// setWeights fills the entry's per-reference access weights from the
+// workload: 1 for compulsory references, the link's access probability for
+// optional ones, and the optional median that thresholds tier-1 brownout.
+func setWeights(w *workload.Workload, pid workload.PageID, entry *PageEntry) {
+	pg := &w.Pages[pid]
+	prob := make(map[workload.ObjectID]float64, len(pg.Optional))
+	for _, l := range pg.Optional {
+		prob[l.Object] = l.Prob
+	}
+	entry.Weight = make([]float64, len(entry.Refs))
+	var opt []float64
+	for ri, r := range entry.Refs {
+		if r.Optional {
+			entry.Weight[ri] = prob[r.Object]
+			opt = append(opt, prob[r.Object])
+		} else {
+			entry.Weight[ri] = 1
+		}
+	}
+	entry.optMedian = 0
+	if len(opt) > 0 {
+		sort.Float64s(opt)
+		entry.optMedian = opt[len(opt)/2]
+	}
 }
 
 // Pages returns the number of pages in the database.
@@ -163,16 +200,37 @@ func (db *RefDB) Pages() int {
 // base URL to localBase — the paper's on-the-fly replacement. ok is false
 // for pages this server does not host.
 func (db *RefDB) Serve(pid workload.PageID, localBase string) ([]byte, bool) {
+	doc, _, ok := db.ServeTier(pid, localBase, 0)
+	return doc, ok
+}
+
+// ServeTier is Serve under a brownout tier: tier 0 is full fidelity; at
+// tier 1 the optional references whose access weight falls below the
+// page's optional median are dropped (lowest-weight MOs first — the
+// paper's per-object access weights ordering the sacrifice); at tier 2 and
+// above every optional reference is dropped. Compulsory references always
+// survive — a browned-out page still renders. A dropped reference's URL is
+// rewritten to "#", so clients neither follow nor count it. dropped
+// reports how many references were removed.
+func (db *RefDB) ServeTier(pid workload.PageID, localBase string, tier int) (doc []byte, dropped int, ok bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	entry, ok := db.entries[pid]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	var out bytes.Buffer
 	out.Grow(len(entry.Doc) + 64)
 	prev := 0
 	for ri, r := range entry.Refs {
+		if r.Optional && tier > 0 &&
+			(tier >= 2 || entry.Weight[ri] < entry.optMedian) {
+			out.Write(entry.Doc[prev:r.Start])
+			out.WriteString("#")
+			prev = r.End
+			dropped++
+			continue
+		}
 		if !entry.Local[ri] {
 			continue
 		}
@@ -182,7 +240,7 @@ func (db *RefDB) Serve(pid workload.PageID, localBase string) ([]byte, bool) {
 		prev = r.End
 	}
 	out.Write(entry.Doc[prev:])
-	return out.Bytes(), true
+	return out.Bytes(), dropped, true
 }
 
 // Decisions returns a copy of the page's reference decisions (diagnostics

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxSleepAnalyzer forbids bare time.Sleep on HTTP handler paths. A handler
+// that sleeps (injected latency, throttling, pacing) keeps its goroutine —
+// and its admission slot — alive after the client has hung up; under a
+// disconnect storm those zombie sleeps are exactly the queue inflation that
+// turns an overload transient into a metastable failure. Handler code must
+// instead select on the request context alongside a time.Timer so a gone
+// client releases the slot immediately. Deliberate exceptions carry
+// //repllint:allow ctx-aware-sleep with a justification.
+var CtxSleepAnalyzer = &Analyzer{
+	Name: "ctx-aware-sleep",
+	Doc: "time.Sleep in http.Handler paths must be a select on the request " +
+		"context (time.NewTimer + req.Context().Done()) so client disconnects release the goroutine",
+	Run: runCtxSleep,
+}
+
+func runCtxSleep(p *Pass) {
+	p.eachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch nn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = nn.Type, nn.Body
+			case *ast.FuncLit:
+				ft, body = nn.Type, nn.Body
+			default:
+				return true
+			}
+			if body == nil || !p.isHandlerSignature(ft) {
+				return true
+			}
+			p.ctxSleepScan(body)
+			// Nested literals were scanned as part of the handler body (they
+			// still run on the request path); don't descend again.
+			return false
+		})
+	})
+}
+
+// isHandlerSignature reports whether the function takes an
+// http.ResponseWriter or a *http.Request — the shapes handlers and
+// handler-path helpers have.
+func (p *Pass) isHandlerSignature(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := p.Pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+			continue
+		}
+		if obj.Name() == "Request" || obj.Name() == "ResponseWriter" {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSleepScan reports every time.Sleep reachable in a handler body,
+// including inside nested function literals (goroutines spawned per request
+// still hold per-request resources).
+func (p *Pass) ctxSleepScan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+			p.Reportf(call.Pos(), "time.Sleep on an http.Handler path ignores client disconnects; select on req.Context().Done() with a time.Timer instead, or annotate with %s", allowPrefix)
+		}
+		return true
+	})
+}

@@ -92,6 +92,7 @@ var Analyzers = []*Analyzer{
 	TelemetryNameAnalyzer,
 	ErrorDisciplineAnalyzer,
 	SpanBalanceAnalyzer,
+	CtxSleepAnalyzer,
 }
 
 // ByName returns the analyzers with the given names, or all of them when

@@ -112,6 +112,7 @@ func TestFixtures(t *testing.T) {
 		{"telemetryname", []string{"telemetry-naming"}},
 		{"errcheck", []string{"error-discipline"}},
 		{"spanbalance", []string{"span-balance"}},
+		{"ctxsleep", []string{"ctx-aware-sleep"}},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) { checkFixture(t, c.dir, c.rules...) })

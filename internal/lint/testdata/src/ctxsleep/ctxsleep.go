@@ -1,0 +1,61 @@
+// Package ctxsleep exercises the ctx-aware-sleep rule: a bare time.Sleep
+// anywhere on an http.Handler path (handler funcs, middleware closures,
+// per-request goroutines) must become a select on the request context, so a
+// disconnected client releases the goroutine and its admission slot.
+package ctxsleep
+
+import (
+	"net/http"
+	"time"
+)
+
+// badHandler sleeps on the request path: a gone client keeps the goroutine.
+func badHandler(w http.ResponseWriter, req *http.Request) {
+	time.Sleep(10 * time.Millisecond) // want "ctx-aware-sleep: time.Sleep on an http.Handler path"
+	w.WriteHeader(http.StatusOK)
+}
+
+// badMiddleware hides the sleep inside the handler closure it returns — the
+// closure has the handler signature, so the rule still fires.
+func badMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		time.Sleep(time.Millisecond) // want "ctx-aware-sleep: time.Sleep on an http.Handler path"
+		next.ServeHTTP(w, req)
+	})
+}
+
+// badRequestHelper has no ResponseWriter, but it takes the request: it runs
+// on the request path and must stay context-aware.
+func badRequestHelper(req *http.Request) {
+	time.Sleep(time.Millisecond) // want "ctx-aware-sleep: time.Sleep on an http.Handler path"
+}
+
+// badSpawned sleeps in a goroutine launched per request — the goroutine
+// outlives a disconnected client just the same.
+func badSpawned(w http.ResponseWriter, req *http.Request) {
+	go func() {
+		time.Sleep(time.Millisecond) // want "ctx-aware-sleep: time.Sleep on an http.Handler path"
+	}()
+}
+
+// goodHandler does it right: a timer raced against the request context.
+func goodHandler(w http.ResponseWriter, req *http.Request) {
+	t := time.NewTimer(10 * time.Millisecond)
+	select {
+	case <-t.C:
+	case <-req.Context().Done():
+		t.Stop()
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// allowedHandler documents a deliberate exception.
+func allowedHandler(w http.ResponseWriter, req *http.Request) {
+	time.Sleep(time.Millisecond) //repllint:allow ctx-aware-sleep — fixture: deliberate exception
+}
+
+// notAHandler sleeps outside any request path: the rule stays quiet.
+func notAHandler(d time.Duration) {
+	time.Sleep(d)
+}

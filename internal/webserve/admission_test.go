@@ -1,0 +1,377 @@
+package webserve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+)
+
+// admissionCluster starts the tiny cluster with the admission stack armed
+// under cfg (and an optional fault plan) and returns it with metrics on.
+func admissionCluster(t *testing.T, cfg *admission.Config, plan *faults.Plan) *Cluster {
+	t.Helper()
+	w := tinyWorkload(t)
+	cluster, err := StartClusterOptions(w, model.AllLocal(w), ClusterOptions{
+		Metrics:   true,
+		Admission: cfg,
+		Faults:    plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	return cluster
+}
+
+// TestAdmissionShedsWith429AndRetryAfter drives more concurrency than a
+// one-slot, one-queue admission gate can hold (injected latency keeps the
+// admitted request in its slot): the overflow must be answered 429 with
+// both Retry-After forms, while at least one request is served.
+func TestAdmissionShedsWith429AndRetryAfter(t *testing.T) {
+	plan := &faults.Plan{Sites: []faults.Spec{
+		{Latency: 200 * time.Millisecond},
+		{},
+	}}
+	cluster := admissionCluster(t, &admission.Config{
+		InitialLimit: 1, MinLimit: 1, MaxLimit: 1, MaxQueue: 1,
+	}, plan)
+	k := cluster.W.Sites[0].Objects[0]
+	url := cluster.SiteBases[0] + "/mo/" + strconv.Itoa(int(k))
+
+	const clients = 6
+	var served, shed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				served.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+				if ra := resp.Header.Get("Retry-After"); ra == "" {
+					t.Error("429 without Retry-After")
+				} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+					t.Errorf("Retry-After = %q, want integer seconds >= 1", ra)
+				}
+				ms := resp.Header.Get(admission.RetryAfterMillisHeader)
+				v, err := strconv.Atoi(ms)
+				if err != nil || v < 50 || v >= 75 {
+					t.Errorf("%s = %q, want the jittered hint in [50, 75)", admission.RetryAfterMillisHeader, ms)
+				}
+			default:
+				t.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Error("admission gate served nothing")
+	}
+	if shed.Load() == 0 {
+		t.Error("overflow was not shed")
+	}
+	if got := cluster.Metrics.Counter("admission.0.shed_by.queue").Value(); got == 0 {
+		t.Error("admission.0.shed_by.queue never incremented")
+	}
+	if got := cluster.Metrics.Counter("admission.0.admitted").Value(); got == 0 {
+		t.Error("admission.0.admitted never incremented")
+	}
+}
+
+// TestAdmissionShedsDoomedDeadline pins deadline propagation server-side: a
+// request whose X-Repl-Deadline already passed is shed at the door — 429,
+// booked under shed_by.deadline, and the object handler is never reached.
+func TestAdmissionShedsDoomedDeadline(t *testing.T) {
+	cluster := admissionCluster(t, &admission.Config{}, nil)
+	k := cluster.W.Sites[0].Objects[0]
+	url := cluster.SiteBases[0] + "/mo/" + strconv.Itoa(int(k))
+
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(admission.DeadlineHeader, admission.FormatDeadline(time.Now().Add(-time.Second)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expired deadline got %d, want 429 (body %q)", resp.StatusCode, body)
+	}
+	if got := cluster.Metrics.Counter("admission.0.shed_by.deadline").Value(); got != 1 {
+		t.Errorf("shed_by.deadline = %d, want 1", got)
+	}
+	if got := cluster.Metrics.Counter("site.0.mo_requests").Value(); got != 0 {
+		t.Errorf("doomed request reached the object handler (%d serves)", got)
+	}
+}
+
+// TestBrownoutDegradesPages walks the brownout controller up under a shed
+// storm and verifies the degradation is visible end to end: the page is
+// served with X-Repl-Brownout and the client surfaces it as
+// PageResult.Brownout.
+func TestBrownoutDegradesPages(t *testing.T) {
+	cluster := admissionCluster(t, &admission.Config{
+		BrownoutWindow: 75 * time.Millisecond,
+	}, nil)
+	k := cluster.W.Sites[0].Objects[0]
+	moURL := cluster.SiteBases[0] + "/mo/" + strconv.Itoa(int(k))
+
+	// A storm of doomed requests: every one sheds, so each brownout window
+	// closes with a 100% shed rate and the tier climbs to MaxTier.
+	doomed, err := http.NewRequest(http.MethodGet, moURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(4 * time.Second)
+	for cluster.SiteAdms[0].Tier() < admission.MaxTier {
+		if time.Now().After(deadline) {
+			t.Fatalf("brownout tier stuck at %d", cluster.SiteAdms[0].Tier())
+		}
+		doomed.Header.Set(admission.DeadlineHeader, admission.FormatDeadline(time.Now().Add(-time.Second)))
+		resp, err := http.DefaultClient.Do(doomed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	client := cluster.Client(quickOpts())
+	client.Verify = true
+	pid := cluster.W.Sites[0].Pages[0]
+	res, err := client.FetchPage(cluster.PageURL(pid), pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Brownout < 1 {
+		t.Fatalf("page served at full fidelity (Brownout = %d) under max brownout pressure", res.Brownout)
+	}
+	if got := cluster.Metrics.Counter("site.0.brownout_pages").Value(); got == 0 {
+		t.Error("site.0.brownout_pages never incremented")
+	}
+}
+
+// TestRetryBudgetBoundsAmplification pins the client-side half of the
+// overload contract: with the shared token bucket drained, a failing fetch
+// stops retrying immediately instead of amplifying the storm.
+func TestRetryBudgetBoundsAmplification(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		calls.Add(1)
+		http.Error(rw, "boom", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	opts := quickOpts()
+	opts.Retries = 3
+	opts.BreakerThreshold = -1
+	opts.Metrics = reg
+	opts.RetryBudget = admission.NewRetryBudget(0.1, 1) // one token, earns nothing here
+	c := NewClientOptions(tinyWorkload(t), opts)
+
+	if _, _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err == nil {
+		t.Fatal("failing server returned no error")
+	}
+	// One initial attempt plus the single budgeted retry; the second retry
+	// found the bucket empty.
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (budget must cap retries)", got)
+	}
+	if got := reg.Counter("client.retry_budget_exhausted").Value(); got != 1 {
+		t.Errorf("retry_budget_exhausted = %d, want 1", got)
+	}
+}
+
+// Test429DoesNotTripBreaker pins the classification rule the admission
+// stack depends on: a shed is an authoritative answer from a live server
+// that is policing its queue. Tripping breakers on 429s would turn a
+// transient overload into a self-inflicted outage.
+func Test429DoesNotTripBreaker(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		calls.Add(1)
+		rw.Header().Set(admission.RetryAfterMillisHeader, "1")
+		http.Error(rw, "overloaded", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	opts := quickOpts()
+	opts.Retries = -1 // single attempt per call
+	opts.BreakerThreshold = 1
+	c := NewClientOptions(tinyWorkload(t), opts)
+
+	for i := 0; i < 5; i++ {
+		_, _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil)
+		if err == nil {
+			t.Fatal("429 did not error")
+		}
+		if _, ok := err.(*breakerOpenError); ok {
+			t.Fatalf("call %d: sheds tripped the breaker", i)
+		}
+	}
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("server saw %d calls, want 5 — the circuit must stay closed through sheds", got)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe pins the half-open state under
+// concurrency: once the cooldown elapses, exactly one request becomes the
+// probe; every concurrent loser fails fast without touching the network.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := &hostBreaker{}
+	if tripped := b.onFailure(1, time.Now().Add(10*time.Millisecond)); !tripped {
+		t.Fatal("threshold-1 failure did not trip")
+	}
+	if b.allow(time.Now()) {
+		t.Fatal("open circuit allowed a request inside the cooldown")
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	const racers = 32
+	var allowed atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.allow(time.Now()) {
+				allowed.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := allowed.Load(); got != 1 {
+		t.Fatalf("half-open circuit let %d probes through, want exactly 1", got)
+	}
+
+	// While the probe is in flight, later arrivals still fail fast.
+	if b.allow(time.Now()) {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+}
+
+// TestBreakerHalfOpenProbeOutcomes pins both probe endings: success closes
+// the circuit for everyone; failure re-opens it immediately (no threshold
+// count) for the full cooldown.
+func TestBreakerHalfOpenProbeOutcomes(t *testing.T) {
+	// Failure path: the failed probe re-opens regardless of threshold.
+	b := &hostBreaker{}
+	b.onFailure(1, time.Now().Add(time.Millisecond))
+	time.Sleep(5 * time.Millisecond)
+	if !b.allow(time.Now()) {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if tripped := b.onFailure(99, time.Now().Add(time.Hour)); !tripped {
+		t.Fatal("failed half-open probe did not re-open the circuit")
+	}
+	if b.allow(time.Now()) {
+		t.Fatal("circuit admitted a request right after a failed probe")
+	}
+
+	// Success path: the probe's success resets state completely.
+	b2 := &hostBreaker{}
+	b2.onFailure(1, time.Now().Add(time.Millisecond))
+	time.Sleep(5 * time.Millisecond)
+	if !b2.allow(time.Now()) {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	b2.onSuccess()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !b2.allow(time.Now()) {
+				t.Error("closed circuit refused a request")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestHedgeShutdownLeavesNoGoroutines is the leak fence: hedge races left
+// in flight when the cluster shuts down — losers mid-request, primaries
+// stalled in injected latency — must all unwind. Any stranded leg would
+// hold its page's context subtree and the client's counters forever.
+func TestHedgeShutdownLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	w := tinyWorkload(t)
+	plan := &faults.Plan{Sites: []faults.Spec{
+		{Latency: 400 * time.Millisecond}, // primaries limp: hedges launch
+		{},
+	}}
+	cluster, err := StartClusterOptions(w, model.AllLocal(w), ClusterOptions{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := quickOpts()
+	opts.FallbackBase = cluster.RepoBase
+	opts.HedgeDelay = 5 * time.Millisecond
+	client := cluster.Client(opts)
+	client.Verify = true
+
+	const fetches = 4
+	var wg sync.WaitGroup
+	for i := 0; i < fetches; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pid := w.Sites[0].Pages[i%len(w.Sites[0].Pages)]
+			// Errors are fine — the cluster may die under us; the contract
+			// is that every leg unwinds.
+			client.FetchPage(cluster.PageURL(pid), pid)
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // hedges launched, primaries still stalled
+	if err := cluster.Close(); err != nil {
+		t.Logf("close: %v", err)
+	}
+	wg.Wait()
+
+	// Goroutines take a moment to observe closed connections; poll with a
+	// deadline instead of asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 { // keep-alive pollers may linger briefly
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked across shutdown: %d before, %d after\n%s", before, now, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

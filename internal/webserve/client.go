@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/htmlrefs"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
@@ -39,6 +40,10 @@ type PageResult struct {
 	// repository's master copy because the hosting site was unreachable;
 	// every reference then points at the repository (Eq. 5's remote chain).
 	DegradedHTML bool
+	// Brownout is the serving site's brownout tier when the page was
+	// delivered degraded under overload (X-Repl-Brownout); 0 for a
+	// full-fidelity page.
+	Brownout int
 }
 
 // Degraded reports whether any part of the download abandoned its assigned
@@ -102,6 +107,21 @@ type ClientOptions struct {
 	// instead of stalling the chain until a hard timeout. Zero (the
 	// default) disables hedging; it needs FallbackBase to act.
 	HedgeDelay time.Duration
+	// Deadline, when positive, bounds each FetchPage end to end: the page
+	// context carries it, every object/hedge/fallback leg inherits it, and
+	// each request exports it via the X-Repl-Deadline header so servers can
+	// shed work that is already doomed instead of serving bytes nobody will
+	// wait for. Zero leaves page downloads unbounded (per-request Timeout
+	// still applies).
+	Deadline time.Duration
+	// RetryBudget, when non-nil, caps retry amplification: every retry
+	// (including fallback re-issues after a failure) must withdraw a token,
+	// and tokens are earned back only by successful requests. Sharing one
+	// budget across a fleet of clients bounds the cluster-wide retry load to
+	// ~(1+ratio)× the offered load during overload, which is what keeps a
+	// post-spike retry storm from sustaining a metastable collapse. Nil
+	// leaves retries unbudgeted (the pre-admission behaviour).
+	RetryBudget *admission.RetryBudget
 	// Metrics, when non-nil, receives the client's resilience counters
 	// (client.retries, client.fallbacks, client.degraded_pages,
 	// client.request_failures) plus the reason-labeled breakdowns
@@ -195,6 +215,7 @@ type Client struct {
 	cRetries, cFallbacks, cDegraded, cFailures *telemetry.Counter
 	cTrips, cFastFails                         *telemetry.Counter
 	cHedges, cHedgePrimary, cHedgeFallback     *telemetry.Counter
+	cBudgetExhausted                           *telemetry.Counter
 	// Reason-labeled breakdowns of retries and fallbacks, keyed by the
 	// failureReason vocabulary; a missing key yields a nil (no-op) counter.
 	cRetryBy, cFallbackBy map[string]*telemetry.Counter
@@ -211,6 +232,7 @@ const (
 	reason5xx         = "5xx"
 	reasonBreakerOpen = "breaker_open"
 	reasonCorrupt     = "corrupt"
+	reasonShed        = "shed"
 	reasonOther       = "other"
 )
 
@@ -223,6 +245,9 @@ func failureReason(err error) string {
 	}
 	var se *statusError
 	if errors.As(err, &se) {
+		if se.code == http.StatusTooManyRequests {
+			return reasonShed
+		}
 		if se.code >= 500 {
 			return reason5xx
 		}
@@ -307,12 +332,14 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 		c.cHedges = reg.Counter("client.hedge.launched")
 		c.cHedgePrimary = reg.Counter("client.hedge.wins_by.primary")
 		c.cHedgeFallback = reg.Counter("client.hedge.wins_by.fallback")
+		c.cBudgetExhausted = reg.Counter("client.retry_budget_exhausted")
 		c.cRetryBy = map[string]*telemetry.Counter{
 			reasonTimeout:     reg.Counter("client.retries_by.timeout"),
 			reasonReset:       reg.Counter("client.retries_by.reset"),
 			reason5xx:         reg.Counter("client.retries_by.5xx"),
 			reasonBreakerOpen: reg.Counter("client.retries_by.breaker_open"),
 			reasonCorrupt:     reg.Counter("client.retries_by.corrupt"),
+			reasonShed:        reg.Counter("client.retries_by.shed"),
 			reasonOther:       reg.Counter("client.retries_by.other"),
 		}
 		c.cFallbackBy = map[string]*telemetry.Counter{
@@ -321,6 +348,7 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 			reason5xx:         reg.Counter("client.fallbacks_by.5xx"),
 			reasonBreakerOpen: reg.Counter("client.fallbacks_by.breaker_open"),
 			reasonCorrupt:     reg.Counter("client.fallbacks_by.corrupt"),
+			reasonShed:        reg.Counter("client.fallbacks_by.shed"),
 			reasonOther:       reg.Counter("client.fallbacks_by.other"),
 		}
 	}
@@ -331,49 +359,81 @@ func NewClientOptions(w *workload.Workload, opts ClientOptions) *Client {
 func (c *Client) Options() ClientOptions { return c.opts }
 
 // get fetches a URL fully, once, stamping the trace-propagation header
-// when the request runs under a span. ctx cancellation (a hedge race
-// already decided) aborts the request mid-flight.
-func (c *Client) get(ctx context.Context, url, traceHdr string) ([]byte, error) {
+// when the request runs under a span and exporting the context deadline
+// (if any) via X-Repl-Deadline so the server can shed work that cannot
+// finish in time. ctx cancellation (a hedge race already decided, or the
+// page deadline lapsing) aborts the request mid-flight. The response
+// headers are returned alongside the body so callers can observe serving
+// degradation (brownout tier).
+func (c *Client) get(ctx context.Context, url, traceHdr string) ([]byte, http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if traceHdr != "" {
 		req.Header.Set(trace.Header, traceHdr)
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(admission.DeadlineHeader, admission.FormatDeadline(dl))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		// Drain so the persistent connection is reusable.
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil, &statusError{url: url, code: resp.StatusCode, status: resp.Status}
+		se := &statusError{url: url, code: resp.StatusCode, status: resp.Status}
+		se.retryAfter = parseRetryAfter(resp.Header)
+		return nil, resp.Header, se
 	}
-	return io.ReadAll(resp.Body)
+	data, err := io.ReadAll(resp.Body)
+	return data, resp.Header, err
 }
 
-// statusError is a non-200 response; 5xx are retryable, 4xx are not (a 404
-// from a local server means the placement does not store the object — a
-// routing fact, not a transient fault).
+// parseRetryAfter extracts the server's retry hint: the millisecond-precise
+// X-Repl-Retry-After-Ms when present, the standard whole-second Retry-After
+// otherwise, zero when the response carries neither.
+func parseRetryAfter(h http.Header) time.Duration {
+	if ms := h.Get(admission.RetryAfterMillisHeader); ms != "" {
+		var v int64
+		if _, err := fmt.Sscanf(ms, "%d", &v); err == nil && v > 0 {
+			return time.Duration(v) * time.Millisecond
+		}
+	}
+	if s := h.Get("Retry-After"); s != "" {
+		var v int64
+		if _, err := fmt.Sscanf(s, "%d", &v); err == nil && v > 0 {
+			return time.Duration(v) * time.Second
+		}
+	}
+	return 0
+}
+
+// statusError is a non-200 response; 5xx and 429 are retryable, other 4xx
+// are not (a 404 from a local server means the placement does not store the
+// object — a routing fact, not a transient fault).
 type statusError struct {
 	url    string
 	code   int
 	status string
+	// retryAfter is the server's jittered retry hint on a 429 shed; retries
+	// wait at least this long regardless of the backoff schedule.
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string {
 	return fmt.Sprintf("webserve: GET %s: %s", e.url, e.status)
 }
 
-// retryable classifies an error: transport failures, timeouts, short reads
-// and 5xx responses are worth retrying; 4xx are authoritative. An open
-// circuit counts as transient — the host may recover, and meanwhile the
-// repository fallback should take the request.
+// retryable classifies an error: transport failures, timeouts, short reads,
+// 5xx responses and 429 sheds are worth retrying; other 4xx are
+// authoritative. An open circuit counts as transient — the host may recover,
+// and meanwhile the repository fallback should take the request.
 func retryable(err error) bool {
 	if se, ok := err.(*statusError); ok {
-		return se.code >= 500
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
 	}
 	return err != nil
 }
@@ -479,28 +539,41 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d/2 + time.Duration(c.jitter.Uniform(0, float64(d/2)))
 }
 
-// getRetry fetches a URL with the configured retry budget; verify, when
+// getRetry fetches a URL with the configured retry schedule; verify, when
 // non-nil, validates the body and its failure counts as a retryable error
 // (truncated and corrupted transfers look exactly like that). sp, when
 // non-nil, is the span the request runs under: its context propagates via
 // X-Repl-Trace, and every retry, backoff sleep and breaker decision lands
 // as a child span or event beneath it. A canceled ctx (the other leg of a
-// hedge race won) returns immediately without feeding the breaker or the
-// failure counters — a lost race is not evidence against the host.
-func (c *Client) getRetry(ctx context.Context, url string, verify func([]byte) error, sp *trace.Active) (data []byte, retries int, err error) {
+// hedge race won, or the page deadline lapsed) returns immediately without
+// feeding the breaker or the failure counters — a lost race is not
+// evidence against the host.
+//
+// Two admission-control rules shape the loop. Every retry must withdraw a
+// token from the shared RetryBudget (earned back on success), so a cluster
+// of clients cannot amplify offered load by more than ~(1+ratio)× no
+// matter how hard the servers shed. And a 429 shed is an authoritative
+// answer from a live, overloaded server: it waits at least the server's
+// jittered Retry-After hint before retrying, and it never feeds the
+// circuit breaker — tripping breakers on sheds would convert a transient
+// overload into a self-inflicted outage.
+//
+// hdr is the last response's headers (nil when the failure never produced
+// a response).
+func (c *Client) getRetry(ctx context.Context, url string, verify func([]byte) error, sp *trace.Active) (data []byte, hdr http.Header, retries int, err error) {
 	var br *hostBreaker
 	if c.opts.BreakerThreshold > 0 {
 		br = c.breakerFor(hostOf(url))
 		if !br.allow(time.Now()) {
 			c.cFastFails.Inc()
 			sp.Event(trace.SpanBreaker, trace.A(trace.AttrReason, "open"), trace.A(trace.AttrSite, hostOf(url)))
-			return nil, 0, &breakerOpenError{host: hostOf(url)}
+			return nil, nil, 0, &breakerOpenError{host: hostOf(url)}
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		data, err = c.get(ctx, url, sp.HeaderValue())
+		data, hdr, err = c.get(ctx, url, sp.HeaderValue())
 		if err != nil && ctx.Err() != nil {
-			return nil, retries, ctx.Err()
+			return nil, hdr, retries, ctx.Err()
 		}
 		if err == nil && verify != nil {
 			err = verify(data)
@@ -509,14 +582,23 @@ func (c *Client) getRetry(ctx context.Context, url string, verify func([]byte) e
 			if br != nil {
 				br.onSuccess()
 			}
-			return data, retries, nil
+			c.opts.RetryBudget.Earn()
+			return data, hdr, retries, nil
 		}
-		if !retryable(err) || attempt >= c.opts.Retries {
+		shed := failureReason(err) == reasonShed
+		exhausted := false
+		if retryable(err) && attempt < c.opts.Retries && !c.opts.RetryBudget.Spend() {
+			exhausted = true
+			c.cBudgetExhausted.Inc()
+			sp.Event(trace.SpanRetry, trace.A(trace.AttrReason, "budget_exhausted"))
+		}
+		if !retryable(err) || attempt >= c.opts.Retries || exhausted {
 			c.cFailures.Inc()
 			// A non-retryable error is an authoritative answer from a live
 			// server, not evidence the host is down — only transient
-			// failures feed the breaker.
-			if br != nil && retryable(err) {
+			// failures feed the breaker. A shed is equally authoritative:
+			// the server is up and policing its queue.
+			if br != nil && retryable(err) && !shed {
 				if br.onFailure(c.opts.BreakerThreshold, time.Now().Add(c.breakerCooldown())) {
 					c.cTrips.Inc()
 					sp.Event(trace.SpanBreaker, trace.A(trace.AttrReason, "trip"), trace.A(trace.AttrSite, hostOf(url)))
@@ -524,20 +606,27 @@ func (c *Client) getRetry(ctx context.Context, url string, verify func([]byte) e
 			} else if br != nil {
 				br.onSuccess()
 			}
-			return nil, retries, err
+			return nil, hdr, retries, err
 		}
 		retries++
 		reason := failureReason(err)
 		c.countRetry(reason)
 		sp.Event(trace.SpanRetry, trace.A(trace.AttrReason, reason))
+		wait := c.backoff(attempt + 1)
+		var se *statusError
+		if errors.As(err, &se) && se.retryAfter > wait {
+			// Honor the server's shed hint: retrying sooner than it asked
+			// just lands back in the queue it is trying to drain.
+			wait = se.retryAfter
+		}
 		bo := sp.StartChild(trace.SpanBackoff)
-		t := time.NewTimer(c.backoff(attempt + 1))
+		t := time.NewTimer(wait)
 		select {
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
 			bo.End()
-			return nil, retries, ctx.Err()
+			return nil, hdr, retries, ctx.Err()
 		}
 		bo.End()
 	}
@@ -562,16 +651,17 @@ func (c *Client) hedgeDelay() time.Duration {
 
 // fetchMO downloads one object from url, degrading to the repository when
 // the assigned server keeps failing and a fallback base is configured.
-// parent, when non-nil, receives an "mo" child span covering the whole
-// fetch including any fallback leg. With HedgeDelay armed the fetch races
-// a late-started repository leg against a slow assigned server instead of
-// waiting for it to fail outright.
-func (c *Client) fetchMO(url string, k workload.ObjectID, parent *trace.Active) (data []byte, retries int, fellBack bool, err error) {
+// ctx is the page context — its deadline bounds every leg here, fallback
+// included. parent, when non-nil, receives an "mo" child span covering the
+// whole fetch including any fallback leg. With HedgeDelay armed the fetch
+// races a late-started repository leg against a slow assigned server
+// instead of waiting for it to fail outright.
+func (c *Client) fetchMO(ctx context.Context, url string, k workload.ObjectID, parent *trace.Active) (data []byte, retries int, fellBack bool, err error) {
 	mo := parent.StartChild(trace.SpanMO)
 	mo.SetAttr(trace.I(trace.AttrObject, int64(k)))
 	fb := c.opts.FallbackBase
 	if c.opts.HedgeDelay > 0 && fb != "" && hostOf(url) != fb {
-		data, retries, fellBack, err = c.fetchMOHedged(url, k, mo)
+		data, retries, fellBack, err = c.fetchMOHedged(ctx, url, k, mo)
 		if err == nil {
 			mo.SetAttr(trace.I(trace.AttrBytes, int64(len(data))))
 		} else {
@@ -580,7 +670,7 @@ func (c *Client) fetchMO(url string, k workload.ObjectID, parent *trace.Active) 
 		mo.End()
 		return data, retries, fellBack, err
 	}
-	data, retries, err = c.getRetry(context.Background(), url, c.moVerifier(k), mo)
+	data, _, retries, err = c.getRetry(ctx, url, c.moVerifier(k), mo)
 	if err == nil {
 		mo.SetAttr(trace.I(trace.AttrBytes, int64(len(data))))
 		mo.End()
@@ -595,7 +685,7 @@ func (c *Client) fetchMO(url string, k workload.ObjectID, parent *trace.Active) 
 	c.countFallback(reason)
 	fbSpan := mo.StartChild(trace.SpanFallback)
 	fbSpan.SetAttr(trace.A(trace.AttrReason, reason))
-	data, r2, err2 := c.getRetry(context.Background(), fb+htmlrefs.MOPath(k), c.moVerifier(k), fbSpan)
+	data, _, r2, err2 := c.getRetry(ctx, fb+htmlrefs.MOPath(k), c.moVerifier(k), fbSpan)
 	fbSpan.End()
 	retries += r2
 	if err2 != nil {
@@ -622,20 +712,20 @@ type hedgeLeg struct {
 // latency, and a failed one triggers the classic failure fallback
 // immediately. The first success cancels the loser; neither a lost race
 // nor its canceled requests feed the breakers or failure counters.
-func (c *Client) fetchMOHedged(url string, k workload.ObjectID, mo *trace.Active) (data []byte, retries int, fellBack bool, err error) {
-	ctx, cancel := context.WithCancel(context.Background())
+func (c *Client) fetchMOHedged(pageCtx context.Context, url string, k workload.ObjectID, mo *trace.Active) (data []byte, retries int, fellBack bool, err error) {
+	ctx, cancel := context.WithCancel(pageCtx)
 	defer cancel()
 	fb := c.opts.FallbackBase
 	results := make(chan hedgeLeg, 2)
 	go func() {
-		d, r, e := c.getRetry(ctx, url, c.moVerifier(k), mo)
+		d, _, r, e := c.getRetry(ctx, url, c.moVerifier(k), mo)
 		results <- hedgeLeg{data: d, retries: r, err: e}
 	}()
 	launchFallback := func(reason string) {
 		fbSpan := mo.StartChild(trace.SpanFallback)
 		fbSpan.SetAttr(trace.A(trace.AttrReason, reason))
 		go func() {
-			d, r, e := c.getRetry(ctx, fb+htmlrefs.MOPath(k), c.moVerifier(k), fbSpan)
+			d, _, r, e := c.getRetry(ctx, fb+htmlrefs.MOPath(k), c.moVerifier(k), fbSpan)
 			fbSpan.End()
 			results <- hedgeLeg{data: d, retries: r, err: e, fallback: true}
 		}()
@@ -713,8 +803,25 @@ func hostOf(url string) string {
 // a FallbackBase configured the download survives local-server failures:
 // objects re-route to the repository, and if even the HTML is unreachable
 // the repository's master copy of the page (whose references all point at
-// the repository) serves the view fully degraded.
+// the repository) serves the view fully degraded. With a Deadline
+// configured the whole download runs under it, propagated to every server
+// touched.
 func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, error) {
+	return c.FetchPageCtx(context.Background(), pageURL, j)
+}
+
+// FetchPageCtx is FetchPage under a caller context: its cancellation and
+// deadline bound the entire download — HTML, every object chain, every
+// hedge and fallback leg — and the deadline is exported to every server
+// via X-Repl-Deadline so already-doomed work is shed, not served. When ctx
+// carries no deadline and ClientOptions.Deadline is set, that deadline is
+// applied here.
+func (c *Client) FetchPageCtx(ctx context.Context, pageURL string, j workload.PageID) (*PageResult, error) {
+	if _, ok := ctx.Deadline(); !ok && c.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
+		defer cancel()
+	}
 	start := time.Now()
 	res := &PageResult{Page: j}
 
@@ -723,7 +830,7 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 	defer root.End()
 
 	html := root.StartChild(trace.SpanHTML)
-	doc, retries, err := c.getRetry(context.Background(), pageURL, nil, html)
+	doc, hdr, retries, err := c.getRetry(ctx, pageURL, nil, html)
 	res.Retries += retries
 	if err != nil {
 		fb := c.opts.FallbackBase
@@ -734,7 +841,7 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 		}
 		fbSpan := html.StartChild(trace.SpanFallback)
 		fbSpan.SetAttr(trace.A(trace.AttrReason, failureReason(err)))
-		doc, retries, err = c.getRetry(context.Background(), fb+htmlrefs.PagePath(j), nil, fbSpan)
+		doc, hdr, retries, err = c.getRetry(ctx, fb+htmlrefs.PagePath(j), nil, fbSpan)
 		fbSpan.End()
 		res.Retries += retries
 		if err != nil {
@@ -744,6 +851,11 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 		res.DegradedHTML = true
 		root.SetAttr(trace.A(trace.AttrDegraded, "true"))
 		c.cDegraded.Inc()
+	}
+	if hdr != nil {
+		if tier := hdr.Get(admission.BrownoutHeader); tier != "" {
+			_, _ = fmt.Sscanf(tier, "%d", &res.Brownout)
+		}
 	}
 	res.HTMLBytes = int64(len(doc))
 	html.SetAttr(trace.I(trace.AttrBytes, res.HTMLBytes))
@@ -792,7 +904,7 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 			ch.SetAttr(trace.A(trace.AttrChain, chainKind), trace.A(trace.AttrSite, host))
 			defer ch.End()
 			for _, r := range chains[host] {
-				data, retries, fellBack, err := c.fetchMO(host+htmlrefs.MOPath(r.Object), r.Object, ch)
+				data, retries, fellBack, err := c.fetchMO(ctx, host+htmlrefs.MOPath(r.Object), r.Object, ch)
 				out.retries += retries
 				if err != nil {
 					out.err = err
@@ -844,7 +956,7 @@ func (c *Client) FetchPage(pageURL string, j workload.PageID) (*PageResult, erro
 func (c *Client) FetchObject(doc []byte, r htmlrefs.Ref) ([]byte, error) {
 	sp := c.tracer.StartTrace(trace.SpanOpt)
 	sp.SetAttr(trace.I(trace.AttrObject, int64(r.Object)))
-	data, _, _, err := c.fetchMO(string(doc[r.Start:r.End]), r.Object, sp)
+	data, _, _, err := c.fetchMO(context.Background(), string(doc[r.Start:r.End]), r.Object, sp)
 	sp.End()
 	return data, err
 }
@@ -852,6 +964,6 @@ func (c *Client) FetchObject(doc []byte, r htmlrefs.Ref) ([]byte, error) {
 // GetDoc fetches a URL and returns the raw body — the served HTML as a
 // browser would receive it.
 func (c *Client) GetDoc(url string) ([]byte, error) {
-	data, _, err := c.getRetry(context.Background(), url, nil, nil)
+	data, _, _, err := c.getRetry(context.Background(), url, nil, nil)
 	return data, err
 }

@@ -44,7 +44,7 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 	c := NewClientOptions(tinyWorkload(t), opts)
 
 	for i := 0; i < 2; i++ {
-		if _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err == nil {
+		if _, _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err == nil {
 			t.Fatal("failing server returned no error")
 		}
 	}
@@ -52,7 +52,7 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 		t.Fatalf("threshold phase made %d calls, want 2", calls.Load())
 	}
 	// Tripped: the next call must fail fast without touching the network.
-	_, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil)
+	_, _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil)
 	if _, ok := err.(*breakerOpenError); !ok {
 		t.Fatalf("open circuit returned %v, want breakerOpenError", err)
 	}
@@ -67,10 +67,10 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 	// circuit. Cooldown is jittered in [d, 3d/2); wait past the ceiling.
 	fail.Store(false)
 	time.Sleep(2 * opts.BreakerCooldown)
-	if _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err != nil {
+	if _, _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err != nil {
 		t.Fatalf("half-open probe failed: %v", err)
 	}
-	if _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err != nil {
+	if _, _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err != nil {
 		t.Fatalf("closed circuit rejected a request: %v", err)
 	}
 	if calls.Load() != 4 {
@@ -88,7 +88,7 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 	if calls.Load() != before+1 {
 		t.Fatalf("probe made %d calls, want 1", calls.Load()-before)
 	}
-	if _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err == nil {
+	if _, _, _, err := c.getRetry(context.Background(), srv.URL+"/doc", nil, nil); err == nil {
 		t.Fatal("circuit closed after a failed probe")
 	} else if _, ok := err.(*breakerOpenError); !ok {
 		t.Fatalf("failed probe left circuit answering %v, want breakerOpenError", err)
@@ -112,7 +112,7 @@ func TestBreaker404DoesNotTrip(t *testing.T) {
 	opts.BreakerThreshold = 2
 	c := NewClientOptions(tinyWorkload(t), opts)
 	for i := 0; i < 5; i++ {
-		if _, _, err := c.getRetry(context.Background(), srv.URL+"/mo/0", nil, nil); err == nil {
+		if _, _, _, err := c.getRetry(context.Background(), srv.URL+"/mo/0", nil, nil); err == nil {
 			t.Fatal("404 did not error")
 		}
 	}
@@ -284,12 +284,15 @@ func TestKillSiteRacesInFlightRequests(t *testing.T) {
 	if truncated.Load() == 0 {
 		t.Fatal("kill mid-transfer cut no client — transfers completed before the kill")
 	}
-	// The handler goroutines observe the cut and bump the counter after the
-	// clients do — poll rather than read once.
+	// The handler goroutines observe the cut and bump a counter after the
+	// clients do — poll rather than read once. The kill cancels in-flight
+	// request contexts, so the ctx-aware body copy books the cut as an
+	// aborted write; a raw socket error still lands in write_errors.
 	errDeadline := time.Now().Add(2 * time.Second)
-	for cluster.Metrics.Counter("site.0.write_errors").Value() == 0 {
+	for cluster.Metrics.Counter("site.0.write_errors").Value()+
+		cluster.Metrics.Counter("server.aborted_writes").Value() == 0 {
 		if time.Now().After(errDeadline) {
-			t.Fatal("cut transfers did not increment site.0.write_errors")
+			t.Fatal("cut transfers incremented neither site.0.write_errors nor server.aborted_writes")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/accesslog"
+	"repro/internal/admission"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -45,6 +46,14 @@ type ClusterOptions struct {
 	// the feed the adaptive planner's frequency estimator runs on. Must be
 	// safe for concurrent use.
 	AccessTap accesslog.Tap
+	// Admission, when non-nil, arms overload protection on every server:
+	// each request passes a bounded deadline-aware admission queue (CoDel
+	// sojourn shedding, AIMD concurrency limits) ahead of the fault layer,
+	// sheds answer 429 with a seeded-jitter Retry-After, and sustained
+	// shed pressure walks the sites into brownout page serving. The zero
+	// Config is a valid production default; nil leaves the cluster
+	// unprotected (the pre-admission behaviour).
+	Admission *admission.Config
 }
 
 // setTelemetry hooks the repository's counters into the registry. A nil
@@ -55,6 +64,9 @@ func (r *Repository) setTelemetry(reg *telemetry.Registry) {
 	r.cBytes = reg.Counter("repo.bytes")
 	r.cMisses = reg.Counter("repo.misses")
 	r.cWriteErrs = reg.Counter("repo.write_errors")
+	// Shared across every server: a disconnected client whose body write
+	// was abandoned, wherever it was being served from.
+	r.cAborted = reg.Counter("server.aborted_writes")
 }
 
 // siteCounterPrefix names the registry namespace of one site's counters.
@@ -70,6 +82,9 @@ func (s *LocalServer) setTelemetry(reg *telemetry.Registry) {
 	s.cBytes = reg.Counter(prefix + "bytes")            //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
 	s.cMisses = reg.Counter(prefix + "misses")          //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
 	s.cWriteErrs = reg.Counter(prefix + "write_errors") //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
+	s.cAborted = reg.Counter("server.aborted_writes")
+	s.cBrownoutPages = reg.Counter(prefix + "brownout_pages")          //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
+	s.cBrownoutDropped = reg.Counter(prefix + "brownout_dropped_refs") //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
 }
 
 // wrapMux wraps a handler with the optional /metrics, /debug/journal and

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/accesslog"
+	"repro/internal/admission"
 	"repro/internal/faults"
 	"repro/internal/htmlrefs"
 	"repro/internal/model"
@@ -36,6 +37,7 @@ type Repository struct {
 
 	// Telemetry counters; nil (no-op) unless the cluster enables metrics.
 	cRequests, cPages, cBytes, cMisses, cWriteErrs *telemetry.Counter
+	cAborted                                       *telemetry.Counter
 }
 
 // NewRepository builds the repository handler.
@@ -72,10 +74,8 @@ func (r *Repository) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		r.cBytes.Add(int64(r.w.ObjectSize(k)))
 		rw.Header().Set("Content-Type", "application/octet-stream")
 		rw.Header().Set("Content-Length", strconv.FormatInt(int64(r.w.ObjectSize(k)), 10))
-		if _, err := io.Copy(rw, ObjectReader(r.w, RepoSource, k)); err != nil {
-			// The client went away (or a fault cut the connection) —
-			// visible in telemetry instead of silently dropped.
-			r.cWriteErrs.Inc()
+		if _, err := copyCtx(req.Context(), rw, ObjectReader(r.w, RepoSource, k)); err != nil {
+			countWriteErr(req, r.cAborted, r.cWriteErrs)
 		}
 		return
 	}
@@ -89,12 +89,52 @@ func (r *Repository) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
 		rw.Header().Set("Content-Length", strconv.Itoa(len(doc)))
 		if _, err := rw.Write(doc); err != nil {
-			r.cWriteErrs.Inc()
+			countWriteErr(req, r.cAborted, r.cWriteErrs)
 		}
 		return
 	}
 	r.cMisses.Inc()
 	http.NotFound(rw, req)
+}
+
+// copyCtx streams src to dst in chunks, checking the request context
+// between chunks: a client that disconnected mid-body stops consuming
+// server work instead of having the full object pushed into a dead
+// connection.
+func copyCtx(ctx context.Context, dst io.Writer, src io.Reader) (int64, error) {
+	buf := make([]byte, 32*1024)
+	var written int64
+	for {
+		select {
+		case <-ctx.Done():
+			return written, ctx.Err()
+		default:
+		}
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			wn, werr := dst.Write(buf[:n])
+			written += int64(wn)
+			if werr != nil {
+				return written, werr
+			}
+		}
+		if rerr == io.EOF {
+			return written, nil
+		}
+		if rerr != nil {
+			return written, rerr
+		}
+	}
+}
+
+// countWriteErr classifies a failed body write: a done request context is
+// a client that went away (aborted), anything else a transport failure.
+func countWriteErr(req *http.Request, aborted, writeErrs *telemetry.Counter) {
+	if req.Context().Err() != nil {
+		aborted.Inc()
+		return
+	}
+	writeErrs.Inc()
 }
 
 // LocalServer is one site's HTTP handler: it serves its hosted pages at
@@ -119,11 +159,17 @@ type LocalServer struct {
 
 	// Telemetry counters; nil (no-op) unless the cluster enables metrics.
 	cPages, cMOs, cBytes, cMisses, cWriteErrs *telemetry.Counter
+	cAborted                                  *telemetry.Counter
+	cBrownoutPages, cBrownoutDropped          *telemetry.Counter
 
 	// Access-log tap; nil unless ClusterOptions.AccessTap was set. tapClock
 	// reports cluster uptime in seconds for the tap's timestamps.
 	tap      accesslog.Tap
 	tapClock func() float64
+
+	// adm is the server's admission layer; nil unless the cluster armed
+	// ClusterOptions.Admission. Its brownout tier governs page fidelity.
+	adm *admission.Server
 }
 
 // NewLocalServer builds the site's handler from a placement. repoBase is
@@ -220,7 +266,14 @@ func (s *LocalServer) setTap(tap accesslog.Tap, clock func() float64) {
 // ServeHTTP implements http.Handler.
 func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 	if j, ok := htmlrefs.ParsePagePath(req.URL.Path); ok {
-		doc, ok := s.db.Serve(j, s.Base())
+		// Brownout: under sustained shed pressure the admission layer's
+		// tier degrades page fidelity — lowest-weight optional references
+		// dropped first — before the server refuses pages outright.
+		tier := 0
+		if s.adm != nil {
+			tier = s.adm.Tier()
+		}
+		doc, dropped, ok := s.db.ServeTier(j, s.Base(), tier)
 		if !ok {
 			s.cMisses.Inc()
 			http.NotFound(rw, req)
@@ -229,10 +282,15 @@ func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		s.countPage(j)
 		s.cPages.Inc()
 		s.cBytes.Add(int64(len(doc)))
+		if tier > 0 {
+			rw.Header().Set(admission.BrownoutHeader, strconv.Itoa(tier))
+			s.cBrownoutPages.Inc()
+			s.cBrownoutDropped.Add(int64(dropped))
+		}
 		rw.Header().Set("Content-Type", "text/html; charset=utf-8")
 		rw.Header().Set("Content-Length", strconv.Itoa(len(doc)))
 		if _, err := rw.Write(doc); err != nil {
-			s.cWriteErrs.Inc()
+			countWriteErr(req, s.cAborted, s.cWriteErrs)
 		}
 		return
 	}
@@ -258,8 +316,8 @@ func (s *LocalServer) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
 		s.cBytes.Add(int64(s.w.ObjectSize(k)))
 		rw.Header().Set("Content-Type", "application/octet-stream")
 		rw.Header().Set("Content-Length", strconv.FormatInt(int64(s.w.ObjectSize(k)), 10))
-		if _, err := io.Copy(rw, ObjectReader(s.w, int(s.site), k)); err != nil {
-			s.cWriteErrs.Inc()
+		if _, err := copyCtx(req.Context(), rw, ObjectReader(s.w, int(s.site), k)); err != nil {
+			countWriteErr(req, s.cAborted, s.cWriteErrs)
 		}
 		return
 	}
@@ -290,6 +348,11 @@ type Cluster struct {
 	// Journal is the flight recorder served at /debug/journal; nil unless
 	// ClusterOptions.Journal was set.
 	Journal *trace.Journal
+
+	// RepoAdm / SiteAdms are the per-server admission layers; nil unless
+	// ClusterOptions.Admission armed overload protection.
+	RepoAdm  *admission.Server
+	SiteAdms []*admission.Server
 
 	start           time.Time
 	shutdownTimeout time.Duration
@@ -339,7 +402,8 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 
 	repo := NewRepository(w)
 	repo.setTelemetry(c.Metrics)
-	repoHandler := c.buildHandler(repo, opts, opts.Faults.RepoInjector(), "faults.repo.", "repo", clock)
+	c.RepoAdm = c.newAdmission(opts, 0, "repo", clock)
+	repoHandler := c.buildHandler(repo, opts, opts.Faults.RepoInjector(), "faults.repo.", "repo", clock, c.RepoAdm)
 	repoBase, repoSrv, err := serve(repoHandler)
 	if err != nil {
 		return nil, err
@@ -359,8 +423,11 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 		if opts.AccessTap != nil {
 			ls.setTap(opts.AccessTap, func() float64 { return time.Since(c.start).Seconds() })
 		}
+		adm := c.newAdmission(opts, uint64(i)+1, strconv.Itoa(i), clock)
+		ls.adm = adm
+		c.SiteAdms = append(c.SiteAdms, adm)
 		inj := opts.Faults.SiteInjector(i)
-		h := c.buildHandler(ls, opts, inj, fmt.Sprintf("faults.site.%d.", i), strconv.Itoa(i), clock)
+		h := c.buildHandler(ls, opts, inj, fmt.Sprintf("faults.site.%d.", i), strconv.Itoa(i), clock, adm)
 		base, srv, err := serve(h)
 		if err != nil {
 			_ = c.Close()
@@ -378,21 +445,43 @@ func StartClusterOptions(w *workload.Workload, p *model.Placement, opts ClusterO
 }
 
 // buildHandler assembles one server's handler chain, innermost first:
-// application → /healthz → fault injection → trace → /metrics + pprof +
-// journal. Health probes pass through the fault middleware (a dying site
-// must look like one), while the observability endpoints stay outside it —
-// chaos is precisely when /metrics must keep answering. The trace
-// middleware wraps the fault layer so injected faults (errors, resets,
-// latency) are visible in the serve spans.
-func (c *Cluster) buildHandler(app http.Handler, opts ClusterOptions, inj *faults.Injector, prefix, siteName string, clock func() time.Duration) http.Handler {
+// application → /healthz → fault injection → admission → trace →
+// /metrics + pprof + journal. Health probes pass through the fault
+// middleware (a dying site must look like one), while the observability
+// endpoints stay outside it — chaos is precisely when /metrics must keep
+// answering. Admission wraps the fault layer so an admitted request holds
+// its concurrency slot across fault-injected latency: a limping server's
+// queue backs up and the CoDel law starts shedding, exactly the overload
+// signal the layer exists to act on. (Health probes are therefore
+// sheddable too; the controller treats 429 as healthy-but-shedding.) The
+// trace middleware wraps everything so both injected faults and admission
+// sheds are visible in the serve spans.
+func (c *Cluster) buildHandler(app http.Handler, opts ClusterOptions, inj *faults.Injector, prefix, siteName string, clock func() time.Duration, adm *admission.Server) http.Handler {
 	h := withHealthz(app)
 	if inj != nil && !inj.Spec().Quiet() {
 		m := faults.MetricsFor(c.Metrics, prefix)
 		m.Journal, m.Site = c.Journal, siteName
 		h = faults.Middleware(inj, clock, m, h)
 	}
+	if adm != nil {
+		h = adm.Middleware(h)
+	}
 	h = traceMiddleware(c.Tracer, siteName, h)
 	return wrapMux(h, c.Metrics, opts.Pprof, c.Journal)
+}
+
+// newAdmission builds one server's admission layer, or nil when overload
+// protection is not armed. seedOffset keeps each server's Retry-After
+// jitter stream disjoint (0 = repository, i+1 = site i).
+func (c *Cluster) newAdmission(opts ClusterOptions, seedOffset uint64, siteName string, clock func() time.Duration) *admission.Server {
+	if opts.Admission == nil {
+		return nil
+	}
+	cfg := *opts.Admission
+	cfg.Seed += seedOffset
+	m := admission.MetricsFor(c.Metrics, "admission."+siteName+".") //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
+	m.Journal, m.Site = c.Journal, siteName
+	return admission.NewServer(cfg, clock, m)
 }
 
 // traceMiddleware emits one "serve" span per request that carries the

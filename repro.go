@@ -375,6 +375,28 @@ func Scrub(opts ExperimentOptions) (*ScrubResult, error) {
 	return experiments.Scrub(opts)
 }
 
+// Overload study: admission control, retry budgets and deadline
+// propagation against a 10× flash crowd, including the metastable-failure
+// demonstration (protections off: goodput stays collapsed after the spike;
+// on: recovery within one drain window).
+type (
+	// OverloadResult is the overload study's output.
+	OverloadResult = experiments.OverloadResult
+	// OverloadRun is one run: the same arrival ramp, protections off and on.
+	OverloadRun = experiments.OverloadRun
+	// OverloadPass is one pass's accounting.
+	OverloadPass = experiments.OverloadPass
+)
+
+// Overload runs the metastable-failure study: a seeded open-loop arrival
+// ramp against a single server on a virtual clock, once unprotected (the
+// post-spike retry storm keeps effective load above capacity forever) and
+// once under the admission stack (bounded queue, CoDel sojourn shedding,
+// deadline drops, shared retry budget), bit-reproducible per seed.
+func Overload(opts ExperimentOptions) (*OverloadResult, error) {
+	return experiments.Overload(opts)
+}
+
 // Repair planning: deterministic re-replication plans for a down-set
 // (internal/repair), the machinery behind the self-healing supervisor.
 type (

@@ -2,8 +2,8 @@
 # ci.sh — the full verification pipeline, tiered into named stages.
 # Everything here must pass before a change lands: formatting, build + vet +
 # the repllint analyzer suite, the complete test suite, the race detector on
-# every package, the chaos / self-healing / adaptive-loop / integrity passes under
-# -race, coverage on the planner core, and a single pinned-GOMAXPROCS pass
+# every package, the chaos / self-healing / adaptive-loop / integrity /
+# overload passes under -race, coverage on the planner core, and a single pinned-GOMAXPROCS pass
 # of every benchmark followed by a regression diff against the previous
 # snapshot.
 #
@@ -11,14 +11,14 @@
 #
 #	CI_STAGES="fmt lint test" scripts/ci.sh
 #
-# Stages: fmt lint test race chaos heal adapt scrub cover bench. The default runs
+# Stages: fmt lint test race chaos heal adapt scrub overload cover bench. The default runs
 # them all, in order, and prints a wall-clock summary at the end (the
 # PR-gate workflow runs each stage as its own named step instead).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-CI_STAGES="${CI_STAGES:-fmt lint test race chaos heal adapt scrub cover bench}"
+CI_STAGES="${CI_STAGES:-fmt lint test race chaos heal adapt scrub overload cover bench}"
 
 # gofmt with -s: any unformatted file fails the stage.
 stage_fmt() {
@@ -100,6 +100,18 @@ stage_scrub() {
         ./internal/experiments/
 }
 
+# The overload-robustness surface end to end under the race detector: the
+# admission primitives (CoDel sojourn control, AIMD concurrency limits,
+# retry budgets, brownout tiers), the 429 + Retry-After and deadline-
+# propagation paths through the live cluster, half-open breaker concurrency,
+# hedge-leg shutdown hygiene, the flash-crowd load-spike plans, and the
+# metastable-failure study's acceptance + bit-reproducibility pins.
+stage_overload() {
+    go test -race -count=1 ./internal/admission/
+    go test -race -count=1 -run 'Admission|CoDel|AIMD|RetryBudget|RetryAfter|Deadline|Brownout|Overload|LoadSpike|Breaker|HedgeShutdown' \
+        ./internal/webserve/ ./internal/faults/ ./internal/controller/ ./internal/experiments/
+}
+
 # Planner-core statement coverage against a floor.
 stage_cover() {
     : "${CI_CORE_COVER_FLOOR:=90}"
@@ -134,9 +146,9 @@ stage_bench() {
 summary=""
 for stage in $CI_STAGES; do
     case "$stage" in
-    fmt | lint | test | race | chaos | heal | adapt | scrub | cover | bench) ;;
+    fmt | lint | test | race | chaos | heal | adapt | scrub | overload | cover | bench) ;;
     *)
-        echo "ci.sh: unknown stage \"$stage\" (stages: fmt lint test race chaos heal adapt scrub cover bench)" >&2
+        echo "ci.sh: unknown stage \"$stage\" (stages: fmt lint test race chaos heal adapt scrub overload cover bench)" >&2
         exit 2
         ;;
     esac
