@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -13,6 +14,7 @@ func TestListRules(t *testing.T) {
 	for _, rule := range []string{
 		"determinism", "rng-stream", "sorted-iteration",
 		"float-compare", "telemetry-naming", "error-discipline",
+		"determinism-taint", "goroutine-leak", "hotpath-alloc",
 	} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing rule %q:\n%s", rule, out.String())
@@ -31,14 +33,32 @@ func TestUnknownRule(t *testing.T) {
 }
 
 // TestModuleIsClean is the driver-level acceptance check: repllint over the
-// real module (the test binary runs inside it) reports nothing and exits 0.
+// real module (the test binary runs inside it), both suites plus the
+// strict stale-allow audit, reports nothing and exits 0.
 func TestModuleIsClean(t *testing.T) {
 	var out, errOut strings.Builder
-	code := run([]string{"./..."}, &out, &errOut)
+	code := run([]string{"-strict-allow", "./..."}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("repllint exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	if out.Len() != 0 {
 		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks the machine-readable stream CI archives: a clean
+// module emits an empty JSON array, and the encoder output stays parseable.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "-strict-allow", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("repllint -json exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON finding array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean module should emit [], got %d entries", len(findings))
 	}
 }

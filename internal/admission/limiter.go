@@ -118,6 +118,8 @@ func (e *Endpoint) QueueLen() int {
 // client disconnects. On Admitted the caller must call release() exactly
 // once when the request finishes. sawDrop reports a CoDel state
 // transition into shedding (for journal events).
+//
+//repllint:hotpath — admission decision, called per live request
 func (e *Endpoint) Admit(ctx context.Context, clock func() time.Duration, deadline time.Time) (v Verdict, release func()) {
 	now := clock()
 	e.mu.Lock()

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterminismTaintAnalyzer is the interprocedural companion to the
+// per-package determinism rule. That rule only sees *direct* calls: a
+// helper in internal/stats that reads the wall clock is invisible to it
+// when internal/core reaches the helper through two layers of indirection.
+// This analyzer seeds "impure" facts at ambient-state entry points —
+// wall clock, environment, the global math/rand generator, map-order-
+// dependent results — anywhere in the module, propagates them through the
+// call graph to a fixpoint, and reports every call site inside the
+// deterministic entry packages (core, repair, httpsim, estimate,
+// admission) whose callee is transitively impure, together with the full
+// chain from an exported entry point down to the root cause.
+//
+// Reporting discipline (keeps one real defect to one finding):
+//
+//   - direct ambient calls inside the entry packages are the per-package
+//     determinism rule's findings, not ours;
+//   - a call to an impure function in the *same* entry package is not
+//     reported — the chain will be reported where that callee itself
+//     crosses out of the package;
+//   - a call into another entry package is not reported either, for the
+//     same reason; the frontier call site inside that package reports it.
+//
+// Seeds already suppressed at source (a justified //repllint:allow
+// determinism or sorted-iteration on the ambient call) do not taint, and
+// //repllint:pure cuts propagation entirely — see callgraph.go.
+var DeterminismTaintAnalyzer = &GraphAnalyzer{
+	Name: "determinism-taint",
+	Doc: "propagate ambient-state impurity (wall clock, env, global rand, map-order results) " +
+		"through the whole-module call graph and report tainted call chains reaching " +
+		"core/repair/httpsim/estimate/admission entry points",
+	Run: runDeterminismTaint,
+}
+
+// TaintEntryPackages names the packages whose exported functions are the
+// determinism-taint entry points: the deterministic model packages that
+// must stay bit-reproducible, plus admission, whose control laws are
+// clock-agnostic by design (deadlines are wall-clock protocol state and
+// carry their own justification).
+var TaintEntryPackages = map[string]bool{
+	"core":      true,
+	"repair":    true,
+	"httpsim":   true,
+	"estimate":  true,
+	"admission": true,
+}
+
+func runDeterminismTaint(p *GraphPass) {
+	g := p.Graph
+	impure := propagateUp(g, taintSeeds(g), true)
+	entry := entryReach(g)
+
+	for _, n := range g.Nodes {
+		if !TaintEntryPackages[n.Pkg.Name] || n.Pure {
+			continue
+		}
+		ep := entry[n]
+		if ep == nil {
+			continue // not reachable from any exported entry point
+		}
+		for _, e := range n.Calls {
+			m := impure[e.Callee]
+			if m == nil || TaintEntryPackages[e.Callee.Pkg.Name] {
+				continue
+			}
+			full := append(entryChain(p.Fset, entry, n), chain(p.Fset, impure, e.Callee)...)
+			p.Reportf(n, e.Pos, full,
+				"call to %s is determinism-tainted (%s); reachable from entry %s — break the chain, assert //repllint:pure at a reviewed boundary, or annotate with %s determinism-taint",
+				e.Callee.ShortName(), strings.Join(chainTail(impure, e.Callee), " → "),
+				ep.entry.ShortName(), allowPrefix)
+		}
+	}
+}
+
+// taintSeeds scans every function body for ambient-state entry points and
+// returns the seed marks. The forbidden sets are shared with the
+// per-package determinism rule, so the two rules can never drift apart.
+func taintSeeds(g *Graph) map[*Node]*Mark {
+	seeds := make(map[*Node]*Mark)
+	for _, n := range g.Nodes {
+		if n.Pure {
+			continue
+		}
+		node := n
+		ast.Inspect(n.Decl.Body, func(an ast.Node) bool {
+			if seeds[node] != nil {
+				return false // first seed in source order wins
+			}
+			sel, ok := an.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := node.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			key := path + "." + name
+			reason := ""
+			if r, bad := forbiddenFuncs[key]; bad {
+				reason = key + " (" + r + ")"
+			} else if (path == "math/rand" || path == "math/rand/v2") &&
+				fn.Type().(*types.Signature).Recv() == nil && !globalRandExempt[name] {
+				reason = key + " (global rand)"
+			}
+			if reason == "" {
+				return true
+			}
+			pos := node.Pkg.Fset.Position(sel.Pos())
+			if node.Pkg.Directives.Allows("determinism", pos) ||
+				node.Pkg.Directives.Allows("determinism-taint", pos) {
+				return true // justified at source; does not taint callers
+			}
+			seeds[node] = &Mark{Reason: reason, Pos: sel.Pos()}
+			return false
+		})
+		if seeds[node] != nil {
+			continue
+		}
+		if pos, ok := mapOrderResultSeed(n); ok {
+			seeds[node] = &Mark{Reason: "map-order-dependent result", Pos: pos}
+		}
+	}
+	return seeds
+}
+
+// mapOrderResultSeed reports whether the function builds a result whose
+// element order follows map iteration: a map range appending to a slice
+// declared outside the loop, with no later sort.*/slices.Sort* on it.
+// This mirrors the sorted-iteration rule's core check (which flags it
+// per-package); a justified allow there keeps the function from seeding.
+func mapOrderResultSeed(n *Node) (token.Pos, bool) {
+	found := false
+	var at token.Pos
+	ast.Inspect(n.Decl.Body, func(an ast.Node) bool {
+		if found {
+			return false
+		}
+		rng, isRange := an.(*ast.RangeStmt)
+		if !isRange || !isMapTypeIn(n.Pkg, rng.X) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(bn ast.Node) bool {
+			if found {
+				return false
+			}
+			call, isCall := bn.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			id, isIdent := call.Fun.(*ast.Ident)
+			if !isIdent || id.Name != "append" || !isBuiltinIn(n.Pkg, id) || len(call.Args) == 0 {
+				return true
+			}
+			target, isIdent := call.Args[0].(*ast.Ident)
+			if !isIdent || declaredInsideIn(n.Pkg, target, rng) || sortedAfterIn(n.Pkg, n.Decl.Body, rng, target) {
+				return true
+			}
+			rpos := n.Pkg.Fset.Position(rng.Pos())
+			if n.Pkg.Directives.Allows("sorted-iteration", rpos) ||
+				n.Pkg.Directives.Allows("determinism-taint", rpos) {
+				return true
+			}
+			found, at = true, rng.Pos()
+			return false
+		})
+		return !found
+	})
+	return at, found
+}
+
+// entryMark records how a node is reached from an exported entry point of
+// the taint entry packages.
+type entryMark struct {
+	entry *Node // the exported entry function
+	via   *Node // caller hop toward the entry (nil when n is the entry)
+}
+
+// entryReach walks forward from every exported function of the entry
+// packages and records, for each reachable node, one deterministic path
+// back to an entry.
+func entryReach(g *Graph) map[*Node]*entryMark {
+	reach := make(map[*Node]*entryMark)
+	for _, n := range g.Nodes {
+		if TaintEntryPackages[n.Pkg.Name] && ast.IsExported(n.Fn.Name()) {
+			reach[n] = &entryMark{entry: n}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			m := reach[n]
+			if m == nil {
+				continue
+			}
+			for _, e := range n.Calls {
+				if reach[e.Callee] == nil {
+					reach[e.Callee] = &entryMark{entry: m.entry, via: n}
+					changed = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// entryChain renders the path entry → ... → n (inclusive) as display hops.
+func entryChain(fset *token.FileSet, reach map[*Node]*entryMark, n *Node) []string {
+	var rev []*Node
+	for cur := n; cur != nil; {
+		rev = append(rev, cur)
+		m := reach[cur]
+		if m == nil || m.via == nil || len(rev) >= 64 {
+			break
+		}
+		cur = m.via
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		cur := rev[i]
+		pos := fset.Position(cur.Decl.Pos())
+		out = append(out, fmt.Sprintf("%s (%s:%d)", cur.ShortName(), pos.Filename, pos.Line))
+	}
+	return out
+}
+
+// chainTail renders the compact single-line form of the impurity chain
+// from a callee down to the root cause, without positions.
+func chainTail(marks map[*Node]*Mark, n *Node) []string {
+	var out []string
+	for hops := 0; n != nil && hops < 64; hops++ {
+		out = append(out, n.ShortName())
+		m := marks[n]
+		if m == nil {
+			break
+		}
+		if m.Via == nil {
+			out = append(out, m.Reason)
+			break
+		}
+		n = m.Via
+	}
+	return out
+}

@@ -15,11 +15,32 @@ import (
 //     the line immediately above it.
 //
 // The directive text is "//repllint:allow rule[,rule] [justification]".
+//
+// Every parsed (file, line, rule) entry is also recorded so the driver can
+// audit suppressions after a full run: an allow that matched no finding is
+// stale — either the offending code is gone, the rule changed, or the rule
+// name is misspelled — and -strict-allow turns those into errors.
 type Directives struct {
 	// fileAllow maps filename -> rules exempted for the whole file.
 	fileAllow map[string]map[string]bool
 	// lineAllow maps filename -> line -> rules exempted on that line.
 	lineAllow map[string]map[int]map[string]bool
+
+	// declared lists every allow entry in source order; used marks the
+	// entries that suppressed at least one finding.
+	declared []AllowSite
+	used     map[AllowSite]bool
+}
+
+// AllowSite is one declared (file, line, rule) allow entry. Line is 0 for
+// file-scope directives (the position is still recorded in DeclLine).
+type AllowSite struct {
+	File string
+	Line int // matching line; 0 = whole file
+	Rule string
+	// DeclLine is the line the directive comment itself sits on (differs
+	// from Line for file-scope entries and line-above placement).
+	DeclLine int
 }
 
 const allowPrefix = "//repllint:allow"
@@ -29,6 +50,7 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 	d := &Directives{
 		fileAllow: make(map[string]map[string]bool),
 		lineAllow: make(map[string]map[int]map[string]bool),
+		used:      make(map[AllowSite]bool),
 	}
 	for _, f := range files {
 		pkgLine := fset.Position(f.Package).Line
@@ -47,6 +69,7 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 					}
 					for _, r := range rules {
 						set[r] = true
+						d.declared = append(d.declared, AllowSite{File: pos.Filename, Line: 0, Rule: r, DeclLine: pos.Line})
 					}
 					continue
 				}
@@ -62,6 +85,7 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 				}
 				for _, r := range rules {
 					set[r] = true
+					d.declared = append(d.declared, AllowSite{File: pos.Filename, Line: pos.Line, Rule: r, DeclLine: pos.Line})
 				}
 			}
 		}
@@ -90,14 +114,50 @@ func parseAllow(text string) (rules []string, ok bool) {
 	return rules, len(rules) > 0
 }
 
-// Allows reports whether a finding of the given rule at pos is suppressed.
+// Allows reports whether a finding of the given rule at pos is suppressed,
+// and marks the matching directive as used for the stale audit.
 func (d *Directives) Allows(rule string, pos token.Position) bool {
 	if d == nil {
 		return false
 	}
 	if d.fileAllow[pos.Filename][rule] {
+		d.markUsed(pos.Filename, 0, rule)
 		return true
 	}
 	lines := d.lineAllow[pos.Filename]
-	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
+	if lines[pos.Line][rule] {
+		d.markUsed(pos.Filename, pos.Line, rule)
+		return true
+	}
+	if lines[pos.Line-1][rule] {
+		d.markUsed(pos.Filename, pos.Line-1, rule)
+		return true
+	}
+	return false
+}
+
+// markUsed flags the declared entry matching (file, line, rule).
+func (d *Directives) markUsed(file string, line int, rule string) {
+	for _, site := range d.declared {
+		if site.File == file && site.Line == line && site.Rule == rule {
+			d.used[site] = true
+			return
+		}
+	}
+}
+
+// Stale returns the declared allow entries that never suppressed a finding,
+// in source order. Call only after every relevant analyzer ran; an allow
+// for a rule that was not part of the run would report as a false stale.
+func (d *Directives) Stale() []AllowSite {
+	if d == nil {
+		return nil
+	}
+	var out []AllowSite
+	for _, site := range d.declared {
+		if !d.used[site] {
+			out = append(out, site)
+		}
+	}
+	return out
 }

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// This file is the facts engine: per-function facts seeded by local
+// inspection and propagated over the call graph to a fixpoint. Two
+// directions exist:
+//
+//   - propagateUp: callee facts infect callers ("calls something impure",
+//     "calls something that never returns"). Rounds of breadth-first
+//     relaxation over the node list give shortest chains, and scanning each
+//     node's call sites in source order makes the chosen chain — and
+//     therefore every reported message — deterministic.
+//   - propagateDown: caller facts infect callees ("reachable from a hot
+//     root"), used by the allocation gate.
+//
+// Every mark remembers the next hop toward its root cause and the call
+// site inside the marked function, so a full chain can be reconstructed
+// for any finding without storing whole paths.
+
+// Mark is one propagated fact on one function.
+type Mark struct {
+	// Reason is set on seed marks only: the root cause, e.g. "time.Now
+	// (wall clock)".
+	Reason string
+	// Via is the next node toward the root cause (nil on seeds).
+	Via *Node
+	// Pos is the responsible site inside this function: the seeding
+	// expression, or the call site of Via.
+	Pos token.Pos
+	// Depth is the chain length to the root cause (0 on seeds).
+	Depth int
+}
+
+// propagateUp computes the least fixpoint of "n is marked if n seeds or n
+// calls a marked function". Pure-asserted nodes never take a mark, cutting
+// propagation at the trust boundary. When useLitEdges is false, edges
+// whose call site sits inside a function literal or `go` statement are
+// ignored (termination facts do not cross a spawn).
+func propagateUp(g *Graph, seeds map[*Node]*Mark, useLitEdges bool) map[*Node]*Mark {
+	marked := make(map[*Node]*Mark, len(seeds))
+	for n, m := range seeds {
+		if !n.Pure {
+			marked[n] = m
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		round := make(map[*Node]*Mark)
+		for _, n := range g.Nodes {
+			if n.Pure || marked[n] != nil {
+				continue
+			}
+			for _, e := range n.Calls {
+				if !useLitEdges && e.InLit {
+					continue
+				}
+				if m := marked[e.Callee]; m != nil {
+					round[n] = &Mark{Via: e.Callee, Pos: e.Pos, Depth: m.Depth + 1}
+					changed = true
+					break
+				}
+			}
+		}
+		for n, m := range round {
+			marked[n] = m
+		}
+	}
+	return marked
+}
+
+// propagateDown computes forward reachability from the seed set: "n is
+// marked if n seeds or a marked function calls n". Via points back toward
+// the seed (the caller), Pos is the call site inside that caller.
+func propagateDown(g *Graph, seeds map[*Node]*Mark) map[*Node]*Mark {
+	marked := make(map[*Node]*Mark, len(seeds))
+	for n, m := range seeds {
+		marked[n] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			m := marked[n]
+			if m == nil {
+				continue
+			}
+			for _, e := range n.Calls {
+				if marked[e.Callee] == nil {
+					marked[e.Callee] = &Mark{Via: n, Pos: e.Pos, Depth: m.Depth + 1}
+					changed = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// chain renders the fact chain rooted at n as display hops: each entry is
+// "pkg.Func (file:line)" ending at the seed's reason. The fset resolves
+// positions; hops are capped defensively (cycles cannot occur in a
+// fixpoint chain, but a cap keeps a future bug from hanging reports).
+func chain(fset *token.FileSet, marks map[*Node]*Mark, n *Node) []string {
+	var out []string
+	for hops := 0; n != nil && hops < 64; hops++ {
+		m := marks[n]
+		if m == nil {
+			out = append(out, n.ShortName())
+			break
+		}
+		pos := fset.Position(m.Pos)
+		out = append(out, fmt.Sprintf("%s (%s:%d)", n.ShortName(), pos.Filename, pos.Line))
+		if m.Via == nil {
+			out = append(out, m.Reason)
+			break
+		}
+		n = m.Via
+	}
+	return out
+}
+
+// GraphAnalyzer is one whole-module rule running over the call graph.
+type GraphAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*GraphPass)
+}
+
+// GraphPass carries one graph analyzer's run over the whole module.
+type GraphPass struct {
+	Analyzer *GraphAnalyzer
+	Graph    *Graph
+	Fset     *token.FileSet
+	// Baseline is the hotpath-alloc regression baseline; nil means an
+	// all-zero baseline (every allocation in a hot function reports).
+	Baseline *HotpathBaseline
+
+	findings []Finding
+}
+
+// Reportf records a finding attributed to node n's package (so its
+// //repllint:allow directives apply) at pos, with an optional chain.
+func (p *GraphPass) Reportf(n *Node, pos token.Pos, chain []string, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:   p.Fset.Position(pos),
+		Rule:  p.Analyzer.Name,
+		Msg:   fmt.Sprintf(format, args...),
+		Chain: chain,
+		pkg:   n.Pkg,
+	})
+}
+
+// GraphAnalyzers is the interprocedural suite in reporting order.
+var GraphAnalyzers = []*GraphAnalyzer{
+	DeterminismTaintAnalyzer,
+	GoroutineLeakAnalyzer,
+	HotpathAllocAnalyzer,
+}
+
+// GraphByName returns the graph analyzers with the given names, or all of
+// them when names is empty. Unknown names are an error.
+func GraphByName(names []string) ([]*GraphAnalyzer, error) {
+	if len(names) == 0 {
+		return GraphAnalyzers, nil
+	}
+	byName := make(map[string]*GraphAnalyzer, len(GraphAnalyzers))
+	for _, a := range GraphAnalyzers {
+		byName[a.Name] = a
+	}
+	out := make([]*GraphAnalyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown graph rule %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunGraph builds the call graph over the packages and runs the graph
+// analyzers, returning surviving (non-suppressed) findings in position
+// order. fset must be the loader's file set.
+func RunGraph(fset *token.FileSet, pkgs []*Package, analyzers []*GraphAnalyzer, baseline *HotpathBaseline) []Finding {
+	g := BuildGraph(pkgs)
+	var out []Finding
+	for _, az := range analyzers {
+		pass := &GraphPass{Analyzer: az, Graph: g, Fset: fset, Baseline: baseline}
+		az.Run(pass)
+		for _, f := range pass.findings {
+			if f.pkg != nil && f.pkg.Directives.Allows(f.Rule, f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
+	return out
+}

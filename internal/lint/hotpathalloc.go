@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// HotpathAllocAnalyzer is the standing allocation gate for ROADMAP item 5
+// (the planner allocation diet). Functions annotated //repllint:hotpath —
+// the planner's flip scoring, the fluid-queue update, the estimator
+// ingest, the admission decision — are roots; hotness propagates forward
+// through the call graph, and every heap-allocating construct inside a hot
+// function is counted per kind:
+//
+//	make      make(...) of any type
+//	new       new(T)
+//	composite composite literals (T{...}, &T{...}, []T{...}, map[...]{...})
+//	append    append(...) — may grow the backing array
+//	closure   function literals (the closure object itself escapes)
+//
+// Counts are compared against a committed baseline (.repllint-hotpath.json
+// at the module root): only *regressions* — a (function, kind) count above
+// its baseline — report, so the sweep that shrinks allocations ratchets
+// down and new allocations cannot silently creep back. Sites beyond the
+// baseline count report individually in source order; refresh the file
+// with `repllint -write-hotpath-baseline` when a new allocation is
+// deliberate and reviewed.
+var HotpathAllocAnalyzer = &GraphAnalyzer{
+	Name: "hotpath-alloc",
+	Doc: "flag heap allocations (make/new/composite/append/closure) in //repllint:hotpath " +
+		"functions and everything they reach, beyond the committed per-function baseline",
+	Run: runHotpathAlloc,
+}
+
+// HotpathBaselineName is the baseline file's name at the module root.
+const HotpathBaselineName = ".repllint-hotpath.json"
+
+// HotpathBaseline is the committed allocation budget: stable function full
+// names (types.Func.FullName) to per-kind site counts.
+type HotpathBaseline struct {
+	Comment   string                    `json:"comment,omitempty"`
+	Functions map[string]map[string]int `json:"functions"`
+}
+
+// allowance returns the budgeted count for (function, kind); absent
+// entries budget zero.
+func (b *HotpathBaseline) allowance(fn, kind string) int {
+	if b == nil {
+		return 0
+	}
+	return b.Functions[fn][kind]
+}
+
+// LoadHotpathBaseline reads a baseline file. A missing file is not an
+// error: it loads as the zero baseline.
+func LoadHotpathBaseline(path string) (*HotpathBaseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &HotpathBaseline{Functions: map[string]map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b HotpathBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing hotpath baseline %s: %w", path, err)
+	}
+	if b.Functions == nil {
+		b.Functions = map[string]map[string]int{}
+	}
+	return &b, nil
+}
+
+// WriteHotpathBaseline computes the current hot-set allocation counts over
+// the module's call graph and writes them to path, returning the number of
+// hot functions recorded. encoding/json sorts map keys, so the file is
+// byte-stable for a given tree.
+func WriteHotpathBaseline(g *Graph, path string) (int, error) {
+	b := &HotpathBaseline{
+		Comment: "hotpath-alloc baseline: per-function allocation-site counts for " +
+			"//repllint:hotpath roots and everything they reach; regenerate with repllint -write-hotpath-baseline",
+		Functions: map[string]map[string]int{},
+	}
+	hot := hotSet(g)
+	for _, n := range g.Nodes {
+		if hot[n] == nil {
+			continue
+		}
+		counts := map[string]int{}
+		for kind, sites := range allocSites(n) {
+			if len(sites) > 0 {
+				counts[kind] = len(sites)
+			}
+		}
+		if len(counts) > 0 {
+			b.Functions[n.FullName()] = counts
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	return len(b.Functions), os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// hotSet propagates hotness forward from the //repllint:hotpath roots.
+func hotSet(g *Graph) map[*Node]*Mark {
+	seeds := make(map[*Node]*Mark)
+	for _, n := range g.Nodes {
+		if n.Hot {
+			seeds[n] = &Mark{Reason: "//repllint:hotpath root", Pos: n.Decl.Pos()}
+		}
+	}
+	return propagateDown(g, seeds)
+}
+
+// allocKinds is the reporting order of allocation kinds.
+var allocKinds = []string{"make", "new", "composite", "append", "closure"}
+
+// allocSites collects the allocating constructs in one function body
+// (function literals included — a closure's allocations happen when the
+// enclosing function runs), keyed by kind, in source order.
+func allocSites(n *Node) map[string][]token.Pos {
+	sites := make(map[string][]token.Pos)
+	ast.Inspect(n.Decl.Body, func(an ast.Node) bool {
+		switch e := an.(type) {
+		case *ast.CompositeLit:
+			sites["composite"] = append(sites["composite"], e.Pos())
+		case *ast.FuncLit:
+			sites["closure"] = append(sites["closure"], e.Pos())
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := n.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch id.Name {
+			case "make":
+				sites["make"] = append(sites["make"], e.Pos())
+			case "new":
+				sites["new"] = append(sites["new"], e.Pos())
+			case "append":
+				sites["append"] = append(sites["append"], e.Pos())
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+func runHotpathAlloc(p *GraphPass) {
+	g := p.Graph
+	hot := hotSet(g)
+
+	for _, n := range g.Nodes {
+		m := hot[n]
+		if m == nil {
+			continue
+		}
+		sites := allocSites(n)
+		for _, kind := range allocKinds {
+			cur := sites[kind]
+			base := p.Baseline.allowance(n.FullName(), kind)
+			if len(cur) <= base {
+				continue
+			}
+			hotVia := strings.Join(hotChain(hot, n), " ← ")
+			// Report each site beyond the budget, lexically: the baseline
+			// is position-independent, so moving an allocation around never
+			// fires, only adding one does.
+			for _, pos := range cur[base:] {
+				p.Reportf(n, pos, chain(p.Fset, hot, n),
+					"hot-path allocation regression: %s #%d in %s (baseline %d) — hot via %s; shrink it or refresh %s with -write-hotpath-baseline",
+					kind, len(cur), n.ShortName(), base, hotVia, HotpathBaselineName)
+			}
+		}
+	}
+}
+
+// hotChain renders the hop path from n back to its hotpath root.
+func hotChain(hot map[*Node]*Mark, n *Node) []string {
+	var out []string
+	for hops := 0; n != nil && hops < 64; hops++ {
+		out = append(out, n.ShortName())
+		m := hot[n]
+		if m == nil || m.Via == nil {
+			break
+		}
+		n = m.Via
+	}
+	return out
+}
+
+// sortedFunctionNames returns the baseline's function keys in order (used
+// by the CLI's baseline summary).
+func (b *HotpathBaseline) sortedFunctionNames() []string {
+	if b == nil {
+		return nil
+	}
+	names := make([]string, 0, len(b.Functions))
+	for name := range b.Functions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"sort"
 )
 
@@ -36,6 +37,14 @@ type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	// Chain is the interprocedural call path behind the finding (graph
+	// analyzers only): each hop "pkg.Func (file:line)", ending at the root
+	// cause. Empty for single-function findings.
+	Chain []string
+	// Severity is "" (error) or "warning" (advisory, does not fail a run).
+	Severity string
+
+	pkg *Package // owning package, for suppression lookup
 }
 
 // String renders the canonical file:line: rule: message form.
@@ -126,11 +135,18 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			az.Run(pass)
 			for _, f := range pass.findings {
 				if !pkg.Directives.Allows(f.Rule, f.Pos) {
+					f.pkg = pkg
 					out = append(out, f)
 				}
 			}
 		}
 	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by (file, line, rule).
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -141,17 +157,136 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
 }
 
 // RunModule loads every package under the module rooted at dir, type-checks
-// it, and runs the analyzers.
+// it, and runs the per-package analyzers.
 func RunModule(dir string, analyzers []*Analyzer) ([]Finding, error) {
 	pkgs, err := LoadModule(dir)
 	if err != nil {
 		return nil, err
 	}
 	return RunPackages(pkgs, analyzers), nil
+}
+
+// SelectAnalyzers resolves rule names across both suites: per-package
+// analyzers and whole-module graph analyzers. Empty names select
+// everything.
+func SelectAnalyzers(names []string) ([]*Analyzer, []*GraphAnalyzer, error) {
+	if len(names) == 0 {
+		return Analyzers, GraphAnalyzers, nil
+	}
+	pkgByName := make(map[string]*Analyzer, len(Analyzers))
+	for _, a := range Analyzers {
+		pkgByName[a.Name] = a
+	}
+	graphByName := make(map[string]*GraphAnalyzer, len(GraphAnalyzers))
+	for _, a := range GraphAnalyzers {
+		graphByName[a.Name] = a
+	}
+	var pa []*Analyzer
+	var ga []*GraphAnalyzer
+	for _, n := range names {
+		switch {
+		case pkgByName[n] != nil:
+			pa = append(pa, pkgByName[n])
+		case graphByName[n] != nil:
+			ga = append(ga, graphByName[n])
+		default:
+			return nil, nil, fmt.Errorf("lint: unknown rule %q", n)
+		}
+	}
+	return pa, ga, nil
+}
+
+// ModuleOptions configures a full-module run across both suites.
+type ModuleOptions struct {
+	// Analyzers and Graph select the rules; both nil-able. A nil slice
+	// runs none of that suite (use SelectAnalyzers(nil) for everything).
+	Analyzers []*Analyzer
+	Graph     []*GraphAnalyzer
+	// BaselinePath points at the hotpath-alloc baseline; "" uses
+	// <root>/.repllint-hotpath.json (a missing file is a zero baseline).
+	BaselinePath string
+	// StrictAllow promotes stale //repllint:allow directives to error
+	// findings. Only meaningful when both full suites ran — a partial run
+	// leaves legitimately-matched allows unmatched.
+	StrictAllow bool
+}
+
+// ModuleResult is a full-module run's outcome.
+type ModuleResult struct {
+	// Findings are the error findings, sorted by position. Includes stale
+	// allows when StrictAllow was set.
+	Findings []Finding
+	// Stale lists the stale-allow audit results (severity "warning"),
+	// whether or not StrictAllow promoted them into Findings.
+	Stale []Finding
+}
+
+// RunModuleOpts loads the module at dir and runs both analyzer suites plus
+// the stale-suppression audit.
+func RunModuleOpts(dir string, opts ModuleOptions) (*ModuleResult, error) {
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &ModuleResult{}
+	res.Findings = RunPackages(pkgs, opts.Analyzers)
+	if len(opts.Graph) > 0 && len(pkgs) > 0 {
+		path := opts.BaselinePath
+		if path == "" {
+			root, rootErr := filepath.Abs(dir)
+			if rootErr != nil {
+				return nil, rootErr
+			}
+			path = filepath.Join(root, HotpathBaselineName)
+		}
+		baseline, err := LoadHotpathBaseline(path)
+		if err != nil {
+			return nil, err
+		}
+		res.Findings = append(res.Findings, RunGraph(pkgs[0].Fset, pkgs, opts.Graph, baseline)...)
+	}
+	res.Stale = staleFindings(pkgs)
+	if opts.StrictAllow {
+		for _, f := range res.Stale {
+			f.Severity = ""
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// staleFindings runs the suppression audit over every package: allow
+// directives that matched no finding during this process's analyzer runs.
+func staleFindings(pkgs []*Package) []Finding {
+	known := make(map[string]bool, len(Analyzers)+len(GraphAnalyzers))
+	for _, a := range Analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range GraphAnalyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, site := range pkg.Directives.Stale() {
+			msg := fmt.Sprintf("%s %s suppresses nothing (stale) — the offending code moved or was fixed; delete the directive", allowPrefix, site.Rule)
+			if !known[site.Rule] {
+				msg = fmt.Sprintf("%s %s names an unknown rule — fix the rule name or delete the directive", allowPrefix, site.Rule)
+			}
+			out = append(out, Finding{
+				Pos:      token.Position{Filename: site.File, Line: site.DeclLine},
+				Rule:     "stale-allow",
+				Msg:      msg,
+				Severity: "warning",
+				pkg:      pkg,
+			})
+		}
+	}
+	sortFindings(out)
+	return out
 }
 
 // eachFile applies fn to every file of the pass's package.

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -70,8 +71,33 @@ func checkFixture(t *testing.T, dir string, rules ...string) {
 		t.Fatal(err)
 	}
 	findings := RunPackages([]*Package{pkg}, azs)
-	wants := collectWants(t, pkg)
+	checkWants(t, findings, collectWants(t, pkg))
+}
 
+// checkGraphFixture loads a multi-package fixture tree, runs the named
+// graph analyzers over its call graph (zero hotpath baseline), and
+// verifies the findings against the want comments of every package.
+func checkGraphFixture(t *testing.T, dirs []string, rules ...string) {
+	t.Helper()
+	var pkgs []*Package
+	wants := make(map[string]map[int][]*regexp.Regexp)
+	for _, d := range dirs {
+		pkg := loadFixture(t, d)
+		pkgs = append(pkgs, pkg)
+		for file, byLine := range collectWants(t, pkg) {
+			wants[file] = byLine
+		}
+	}
+	azs, err := GraphByName(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, RunGraph(pkgs[0].Fset, pkgs, azs, nil), wants)
+}
+
+// checkWants verifies findings against want expectations, both directions.
+func checkWants(t *testing.T, findings []Finding, wants map[string]map[int][]*regexp.Regexp) {
+	t.Helper()
 	for _, f := range findings {
 		text := fmt.Sprintf("%s: %s", f.Rule, f.Msg)
 		matched := false
@@ -119,15 +145,123 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// TestModuleClean runs the full suite over the real module: the tree must
-// stay finding-free, so CI can gate on `repllint`.
-func TestModuleClean(t *testing.T) {
-	findings, err := RunModule("../..", Analyzers)
-	if err != nil {
-		t.Fatalf("RunModule: %v", err)
+// TestGraphFixtures proves the interprocedural analyzers both fire on
+// violations and stay quiet on compliant code, per the golden // want
+// comments — including the cross-package taint chain through an
+// intermediate helper package.
+func TestGraphFixtures(t *testing.T) {
+	cases := []struct {
+		name  string
+		dirs  []string
+		rules []string
+	}{
+		{"taintchain", []string{"taintchain/core", "taintchain/hub", "taintchain/leaf"}, []string{"determinism-taint"}},
+		{"goroleak", []string{"goroleak"}, []string{"goroutine-leak"}},
+		{"hotalloc", []string{"hotalloc"}, []string{"hotpath-alloc"}},
 	}
-	for _, f := range findings {
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkGraphFixture(t, c.dirs, c.rules...) })
+	}
+}
+
+// TestTaintChainDepth pins the acceptance shape of the cross-package
+// fixture: the core.Plan finding carries the full call path, depth three
+// from entry to root cause (Plan → hub.Mix → leaf.Stamp → time.Now).
+func TestTaintChainDepth(t *testing.T) {
+	pkgs := []*Package{
+		loadFixture(t, "taintchain/core"),
+		loadFixture(t, "taintchain/hub"),
+		loadFixture(t, "taintchain/leaf"),
+	}
+	findings := RunGraph(pkgs[0].Fset, pkgs, []*GraphAnalyzer{DeterminismTaintAnalyzer}, nil)
+	var plan *Finding
+	for i, f := range findings {
+		if strings.Contains(f.Msg, "entry core.Plan ") || strings.HasSuffix(f.Msg, "entry core.Plan — break the chain, assert //repllint:pure at a reviewed boundary, or annotate with //repllint:allow determinism-taint") {
+			plan = &findings[i]
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatalf("no finding for entry core.Plan among %d findings", len(findings))
+	}
+	if len(plan.Chain) < 4 {
+		t.Fatalf("chain too short, want >= 4 hops (3 calls + root cause): %q", plan.Chain)
+	}
+	for i, wantHop := range []string{"core.Plan", "hub.Mix", "leaf.Stamp", "time.Now"} {
+		if !strings.Contains(plan.Chain[i], wantHop) {
+			t.Errorf("chain hop %d = %q, want it to mention %q (full: %q)", i, plan.Chain[i], wantHop, plan.Chain)
+		}
+	}
+}
+
+// TestHotpathBaselineGates proves the allocation gate is a ratchet: the
+// current tree round-trips through -write-hotpath-baseline to a clean run,
+// and lowering any budget resurfaces exactly the regressed kind.
+func TestHotpathBaselineGates(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc")
+	g := BuildGraph([]*Package{pkg})
+
+	zero := RunGraph(pkg.Fset, []*Package{pkg}, []*GraphAnalyzer{HotpathAllocAnalyzer}, nil)
+	if len(zero) != 5 {
+		t.Fatalf("zero baseline: %d findings, want 5 (make/composite/append/closure/new)", len(zero))
+	}
+
+	path := filepath.Join(t.TempDir(), HotpathBaselineName)
+	nfn, err := WriteHotpathBaseline(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nfn != 2 {
+		t.Fatalf("baseline recorded %d functions, want 2 (Hot, helper)", nfn)
+	}
+	base, err := LoadHotpathBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean := RunGraph(pkg.Fset, []*Package{pkg}, []*GraphAnalyzer{HotpathAllocAnalyzer}, base); len(clean) != 0 {
+		t.Fatalf("current counts against their own baseline should be clean, got %v", clean)
+	}
+
+	base.Functions["hotalloc.helper"]["new"] = 0
+	regressed := RunGraph(pkg.Fset, []*Package{pkg}, []*GraphAnalyzer{HotpathAllocAnalyzer}, base)
+	if len(regressed) != 1 || !strings.Contains(regressed[0].Msg, "new #1 in hotalloc.helper") {
+		t.Fatalf("lowered budget should fire exactly the new-kind regression, got %v", regressed)
+	}
+
+	missing, err := LoadHotpathBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || missing == nil || len(missing.Functions) != 0 {
+		t.Fatalf("missing baseline should load as zero budget, got %v, %v", missing, err)
+	}
+}
+
+// TestModuleClean runs the full suite — per-package rules, graph rules,
+// and the stale-allow audit in strict mode — over the real module: the
+// tree must stay finding-free, so CI can gate on `repllint -strict-allow`.
+func TestModuleClean(t *testing.T) {
+	res, err := RunModuleOpts("../..", ModuleOptions{
+		Analyzers:   Analyzers,
+		Graph:       GraphAnalyzers,
+		StrictAllow: true,
+	})
+	if err != nil {
+		t.Fatalf("RunModuleOpts: %v", err)
+	}
+	for _, f := range res.Findings {
 		t.Errorf("%s", f)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	pa, ga, err := SelectAnalyzers(nil)
+	if err != nil || len(pa) != len(Analyzers) || len(ga) != len(GraphAnalyzers) {
+		t.Fatalf("SelectAnalyzers(nil) = %d+%d, err %v; want full suites", len(pa), len(ga), err)
+	}
+	pa, ga, err = SelectAnalyzers([]string{"determinism", "goroutine-leak"})
+	if err != nil || len(pa) != 1 || len(ga) != 1 || pa[0].Name != "determinism" || ga[0].Name != "goroutine-leak" {
+		t.Fatalf("mixed-suite selection failed: %v %v %v", pa, ga, err)
+	}
+	if _, _, err := SelectAnalyzers([]string{"nope"}); err == nil {
+		t.Fatal("SelectAnalyzers(nope) should fail")
 	}
 }
 

@@ -112,8 +112,12 @@ func checkMapRange(p *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
 }
 
 // isMapType reports whether expr has map underlying type.
-func isMapType(p *Pass, expr ast.Expr) bool {
-	tv, ok := p.Pkg.Info.Types[expr]
+func isMapType(p *Pass, expr ast.Expr) bool { return isMapTypeIn(p.Pkg, expr) }
+
+// isMapTypeIn is the package-level form, shared with the determinism-taint
+// seed scan.
+func isMapTypeIn(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
 	if !ok || tv.Type == nil {
 		return false
 	}
@@ -121,17 +125,23 @@ func isMapType(p *Pass, expr ast.Expr) bool {
 	return isMap
 }
 
-func isBuiltin(p *Pass, id *ast.Ident) bool {
-	_, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+func isBuiltin(p *Pass, id *ast.Ident) bool { return isBuiltinIn(p.Pkg, id) }
+
+func isBuiltinIn(pkg *Package, id *ast.Ident) bool {
+	_, ok := pkg.Info.Uses[id].(*types.Builtin)
 	return ok
 }
 
 // declaredInside reports whether the identifier's declaration lies within
 // the range statement (a loop-local accumulator).
 func declaredInside(p *Pass, id *ast.Ident, rng *ast.RangeStmt) bool {
-	obj := p.Pkg.Info.Uses[id]
+	return declaredInsideIn(p.Pkg, id, rng)
+}
+
+func declaredInsideIn(pkg *Package, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := pkg.Info.Uses[id]
 	if obj == nil {
-		obj = p.Pkg.Info.Defs[id]
+		obj = pkg.Info.Defs[id]
 	}
 	if obj == nil {
 		return false
@@ -143,7 +153,11 @@ func declaredInside(p *Pass, id *ast.Ident, rng *ast.RangeStmt) bool {
 // same function body, a sort.* / slices.Sort* call mentions the append
 // target — the "collect then sort" idiom.
 func sortedAfter(p *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, target *ast.Ident) bool {
-	tobj := p.Pkg.Info.Uses[target]
+	return sortedAfterIn(p.Pkg, funcBody, rng, target)
+}
+
+func sortedAfterIn(pkg *Package, funcBody *ast.BlockStmt, rng *ast.RangeStmt, target *ast.Ident) bool {
+	tobj := pkg.Info.Uses[target]
 	if tobj == nil {
 		return false
 	}
@@ -160,11 +174,11 @@ func sortedAfter(p *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, target *a
 		if !ok {
 			return true
 		}
-		fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
 		if !ok || fn.Pkg() == nil {
 			return true
 		}
-		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+		if fp := fn.Pkg().Path(); fp != "sort" && fp != "slices" {
 			return true
 		}
 		// Does any argument (or the closure body of sort.Slice's less
@@ -172,7 +186,7 @@ func sortedAfter(p *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, target *a
 		for _, arg := range call.Args {
 			refs := false
 			ast.Inspect(arg, func(an ast.Node) bool {
-				if id, ok := an.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == tobj {
+				if id, ok := an.(*ast.Ident); ok && pkg.Info.Uses[id] == tobj {
 					refs = true
 					return false
 				}

@@ -1,0 +1,94 @@
+// Package goroleak exercises the goroutine-leak analyzer: spawned
+// functions with no reachable termination report at the go statement,
+// through literals and static call chains alike; everything with an exit
+// path stays quiet.
+package goroleak
+
+import (
+	"context"
+	"os"
+)
+
+// spin never terminates: the seed fact.
+func spin() {
+	for {
+	}
+}
+
+// relay never terminates by transitivity: it unconditionally calls spin.
+func relay() {
+	spin()
+}
+
+// block parks forever on an empty select.
+func block() {
+	select {}
+}
+
+// drain's unlabeled break targets the select, not the for: the classic
+// supervisor-loop leak.
+func drain(ch chan int) {
+	for {
+		select {
+		case <-ch:
+			break
+		}
+	}
+}
+
+// escape's labeled break really does exit the loop.
+func escape(ch chan int) {
+loop:
+	for {
+		select {
+		case <-ch:
+			break loop
+		}
+	}
+}
+
+// worker has a return on the done path.
+func worker(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+// bail leaves through os.Exit: process exit is termination, not a leak.
+func bail() {
+	for {
+		os.Exit(1)
+	}
+}
+
+// Spawn is the fixture's spawn site collection.
+func Spawn(ctx context.Context, ch chan int, done chan struct{}) {
+	go spin()    // want "goroutine never terminates: goroleak.spin → infinite loop with no exit"
+	go relay()   // want "goroutine never terminates: goroleak.relay → goroleak.spin → infinite loop with no exit"
+	go block()   // want "goroutine never terminates: goroleak.block → infinite loop with no exit"
+	go drain(ch) // want "goroutine never terminates: goroleak.drain → infinite loop with no exit"
+	go func() {  // want "spawned func literal has an infinite loop with no exit"
+		for {
+		}
+	}()
+	go func() { // want "goroutine never terminates: goroleak.spin → infinite loop with no exit"
+		spin()
+	}()
+
+	go worker(done)
+	go escape(ch)
+	go bail()
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}

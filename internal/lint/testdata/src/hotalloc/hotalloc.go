@@ -1,0 +1,32 @@
+// Package hotalloc exercises the hotpath-alloc analyzer against a zero
+// baseline: every allocating construct in the hot set reports, anything
+// outside it stays quiet.
+package hotalloc
+
+// Stats is a value type allocated on the hot path.
+type Stats struct{ count int }
+
+// Hot is the annotated root.
+//
+//repllint:hotpath — fixture root
+func Hot(n int) []int {
+	buf := make([]int, 0, n)     // want "hot-path allocation regression: make"
+	s := Stats{count: n}         // want "hot-path allocation regression: composite"
+	buf = append(buf, s.count)   // want "hot-path allocation regression: append"
+	f := func() int { return n } // want "hot-path allocation regression: closure"
+	_ = f()
+	_ = helper(n)
+	return buf
+}
+
+// helper is hot by propagation from Hot.
+func helper(n int) *Stats {
+	p := new(Stats) // want "hot-path allocation regression: new #1 in hotalloc.helper .baseline 0. — hot via hotalloc.helper ← hotalloc.Hot"
+	p.count = n
+	return p
+}
+
+// Cold allocates freely: it is not reachable from any hot root.
+func Cold(n int) []int {
+	return make([]int, n)
+}

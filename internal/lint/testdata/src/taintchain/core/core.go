@@ -1,0 +1,39 @@
+// Package core mirrors the real entry package by name: its exported
+// functions are determinism-taint entry points, and the fixture proves a
+// taint chain of depth three (Plan → hub.Mix → leaf.Stamp → time.Now)
+// reports at the cross-package frontier with the full call path.
+package core
+
+import "taintchain/hub"
+
+// Plan is the entry point of the depth-three chain.
+func Plan() int64 {
+	return hub.Mix() // want "determinism-taint: call to hub.Mix is determinism-tainted .hub.Mix → leaf.Stamp → time.Now .wall clock..; reachable from entry core.Plan"
+}
+
+// PlanOrder hits the map-order seed two hops down.
+func PlanOrder(m map[string]int) []string {
+	return hub.Gather(m) // want "determinism-taint: call to hub.Gather is determinism-tainted .hub.Gather → leaf.Collect → map-order-dependent result.; reachable from entry core.PlanOrder"
+}
+
+// PlanQuiet's callee asserts //repllint:pure: no finding.
+func PlanQuiet() {
+	hub.Quiet()
+}
+
+// PlanClean reaches only source-justified or compliant helpers: no
+// finding.
+func PlanClean(m map[string]int) []string {
+	return hub.Clean(m)
+}
+
+// PlanSuppressed demonstrates suppressing the frontier finding itself.
+func PlanSuppressed() int64 {
+	return hub.Mix() //repllint:allow determinism-taint — fixture: frontier-site suppression
+}
+
+// hidden is not reachable from any exported entry point, so its tainted
+// call does not report.
+func hidden() int64 {
+	return hub.Mix()
+}

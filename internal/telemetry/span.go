@@ -33,6 +33,8 @@ func NewSpan(name string) *Span {
 
 // Child starts a new child span under s. Returns nil on a nil span, so a
 // disabled trace propagates for free.
+//
+//repllint:pure — observability only: the wall-clock read feeds span timing, never model state
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
@@ -45,6 +47,8 @@ func (s *Span) Child(name string) *Span {
 }
 
 // End closes the span, fixing its wall duration. Idempotent; no-op on nil.
+//
+//repllint:pure — observability only: the wall-clock read feeds span timing, never model state
 func (s *Span) End() {
 	if s == nil {
 		return

@@ -59,6 +59,8 @@ func NewJournal(capacity int) *Journal {
 }
 
 // Record appends one event. No-op on nil.
+//
+//repllint:pure — observability only: the wall-clock timestamp feeds the flight recorder, never model state
 func (j *Journal) Record(typ string, fields ...Attr) {
 	if j == nil {
 		return

@@ -479,7 +479,7 @@ func (c *Cluster) newAdmission(opts ClusterOptions, seedOffset uint64, siteName 
 	}
 	cfg := *opts.Admission
 	cfg.Seed += seedOffset
-	m := admission.MetricsFor(c.Metrics, "admission."+siteName+".") //repllint:allow telemetry-naming — per-site metric namespace; suffixes are literal
+	m := admission.MetricsFor(c.Metrics, "admission."+siteName+".")
 	m.Journal, m.Site = c.Journal, siteName
 	return admission.NewServer(cfg, clock, m)
 }

@@ -11,14 +11,14 @@
 #
 #	CI_STAGES="fmt lint test" scripts/ci.sh
 #
-# Stages: fmt lint test race chaos heal adapt scrub overload cover bench. The default runs
-# them all, in order, and prints a wall-clock summary at the end (the
-# PR-gate workflow runs each stage as its own named step instead).
+# Stages: fmt lint lintx test race chaos heal adapt scrub overload cover bench.
+# The default runs them all, in order, and prints a wall-clock summary at the
+# end (the PR-gate workflow runs each stage as its own named step instead).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-CI_STAGES="${CI_STAGES:-fmt lint test race chaos heal adapt scrub overload cover bench}"
+CI_STAGES="${CI_STAGES:-fmt lint lintx test race chaos heal adapt scrub overload cover bench}"
 
 # gofmt with -s: any unformatted file fails the stage.
 stage_fmt() {
@@ -38,6 +38,24 @@ stage_lint() {
     go build ./...
     go vet ./...
     go run ./cmd/repllint ./...
+}
+
+# The interprocedural suite as a strict gate, with the machine-readable
+# finding stream archived next to the BENCH_*.json snapshots: the whole-
+# module run (determinism taint, goroutine leaks, hotpath-alloc against the
+# committed .repllint-hotpath.json baseline) plus -strict-allow, which turns
+# any //repllint:allow that suppresses nothing into an error. A failure
+# reprints the findings with their full call chains for the log.
+stage_lintx() {
+    stamp=$(date -u +%Y%m%dT%H%M%SZ)
+    out="REPLLINT_${stamp}.json"
+    if go run ./cmd/repllint -strict-allow -json ./... >"$out"; then
+        echo "repllint strict run clean; archived $out"
+    else
+        echo "repllint strict run failed (archived $out):" >&2
+        go run ./cmd/repllint -strict-allow -chains ./... >&2 || true
+        return 1
+    fi
 }
 
 # The complete test suite, plus two cold -count=1 pins outside any warm
@@ -146,9 +164,9 @@ stage_bench() {
 summary=""
 for stage in $CI_STAGES; do
     case "$stage" in
-    fmt | lint | test | race | chaos | heal | adapt | scrub | overload | cover | bench) ;;
+    fmt | lint | lintx | test | race | chaos | heal | adapt | scrub | overload | cover | bench) ;;
     *)
-        echo "ci.sh: unknown stage \"$stage\" (stages: fmt lint test race chaos heal adapt scrub overload cover bench)" >&2
+        echo "ci.sh: unknown stage \"$stage\" (stages: fmt lint lintx test race chaos heal adapt scrub overload cover bench)" >&2
         exit 2
         ;;
     esac
